@@ -1,0 +1,20 @@
+"""Extension bench: the §7 rejuvenation-granularity ladder.
+
+Microreboot, checkpointed/plain OS reboots, dom0-only, warm and cold VMM
+reboots on one 11-JBoss-VM testbed, compared by the affected service's
+downtime.
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_ext_granularity(benchmark, record_result):
+    result = reproduce(benchmark, record_result, "EXT-GRANULARITY")
+    downtimes = result.data["downtimes"]
+    # The hierarchy's two anchors: finer-than-OS techniques stay under
+    # 20 s, and the cold VMM reboot dwarfs everything else.
+    assert downtimes["microreboot"] < 20
+    assert downtimes["os+checkpoint"] < 20
+    assert downtimes["cold-vmm"] > 3 * max(
+        v for k, v in downtimes.items() if k != "cold-vmm"
+    )

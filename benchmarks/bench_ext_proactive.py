@@ -1,0 +1,16 @@
+"""Extension bench: proactive rejuvenation vs reactive crash recovery.
+
+Eight simulated weeks of aggressive heap leaking.  Weekly warm
+rejuvenation must keep the VMM from ever crashing and cut per-VM downtime
+below half of the watchdog-only baseline.
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_ext_proactive(benchmark, record_result):
+    result = reproduce(benchmark, record_result, "EXT-PROACTIVE")
+    reactive = result.data["reactive"]
+    proactive = result.data["proactive"]
+    assert proactive["availability"] > reactive["availability"]
+    assert proactive["planned_rejuvenations"] >= 6

@@ -1,0 +1,19 @@
+"""Figure 4 bench: task time vs VM memory size (1-11 GiB, one VM).
+
+Regenerates the figure's six series (suspend/resume × three methods) and
+checks the paper's anchors: on-memory suspend ~0.08 s and resume ~0.9 s
+at 11 GB versus Xen's ~133 s / ~129 s.
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_fig4_memsize(benchmark, record_result):
+    result = reproduce(benchmark, record_result, "FIG4")
+    series = result.data["series"]
+    # The headline property: on-memory suspend time is (nearly) flat in
+    # memory size while Xen's grows linearly.
+    onmem = [suspend for _, suspend, _ in series["on-memory"]]
+    xen = [save for _, save, _ in series["xen-save"]]
+    assert max(onmem) - min(onmem) < 0.1
+    assert xen[-1] > 5 * xen[0]

@@ -1,0 +1,18 @@
+"""Figure 5 bench: task time vs number of 1 GiB VMs (1-11).
+
+Regenerates the figure's series and checks the 11-VM anchors (on-memory
+0.04 s / 4.2 s vs Xen ~200 s / ~156 s) and the boot-contention slope.
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_fig5_numvms(benchmark, record_result):
+    result = reproduce(benchmark, record_result, "FIG5")
+    series = result.data["series"]
+    # Boot time grows steeply with VM count (disk contention)...
+    boots = [boot for _, _, boot in series["shutdown-boot"]]
+    assert boots[-1] > 4 * boots[0]
+    # ...while on-memory suspend stays flat.
+    suspends = [s for _, s, _ in series["on-memory"]]
+    assert max(suspends) - min(suspends) < 0.05

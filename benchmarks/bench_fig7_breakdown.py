@@ -1,0 +1,24 @@
+"""Figure 7 bench: the reboot-breakdown timeline with a live web workload.
+
+Checks the paper's qualitative timeline: warm serves ~7 s longer into the
+reboot than cold, needs no hardware reset, and both restore throughput.
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_fig7_breakdown(benchmark, record_result):
+    result = reproduce(benchmark, record_result, "FIG7")
+    warm = result.data["warm"]
+    cold = result.data["cold"]
+    # Warm keeps serving through dom0's shutdown; cold stops much sooner.
+    assert warm["served_until"] - cold["served_until"] > 4
+    # Both runs end with the workload back at full throughput.
+    assert warm["rate_after"] > 0.8 * warm["rate_before"]
+    assert cold["rate_after"] > 0.8 * cold["rate_before"]
+    # The observed outage in the rate series brackets the reboot phases.
+    assert warm["outages"], "warm run must show a throughput gap"
+    assert cold["outages"], "cold run must show a throughput gap"
+    warm_gap = max(end - start for start, end in warm["outages"])
+    cold_gap = max(end - start for start, end in cold["outages"])
+    assert cold_gap > 2.5 * warm_gap

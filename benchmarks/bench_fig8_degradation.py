@@ -1,0 +1,19 @@
+"""Figure 8 bench: cache-loss degradation after the reboot.
+
+Cold: 91 % file-read and 69 % web-throughput loss on first accesses;
+warm: no loss at all (the file cache survived in the preserved image).
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_fig8_degradation(benchmark, record_result):
+    result = reproduce(benchmark, record_result, "FIG8")
+    reads = result.data["reads"]
+    web = result.data["web"]
+    # Warm: indistinguishable before/after.
+    assert reads["warm"]["after_first"] == reads["warm"]["before_first"]
+    # Cold: first access after reboot is disk-bound, second is cached again.
+    assert reads["cold"]["after_first"] < 0.15 * reads["cold"]["before_first"]
+    assert reads["cold"]["after_second"] > 0.95 * reads["cold"]["before_second"]
+    assert web["cold"]["after"] < 0.45 * web["cold"]["before"]

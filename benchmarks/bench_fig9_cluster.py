@@ -1,0 +1,29 @@
+"""Figure 9 bench: cluster throughput under three maintenance schemes.
+
+Warm rolling reboots dent the cluster briefly; cold dents it for minutes
+and leaves a cache-cold tail; migration never dents it but monopolizes a
+spare host and takes an order of magnitude longer per host.
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_fig9_cluster(benchmark, record_result):
+    result = reproduce(benchmark, record_result, "FIG9")
+    runs = result.data["runs"]
+
+    def outage(scheme):
+        return sum(
+            end - start
+            for ho in runs[scheme]["per_host_outages"]
+            for start, end in ho
+        )
+
+    assert outage("migration") == 0.0
+    assert outage("warm") < 0.5 * outage("cold")
+
+    def maintenance(scheme):
+        start, end = runs[scheme]["maintenance"]
+        return end - start
+
+    assert maintenance("migration") > 2 * maintenance("warm")

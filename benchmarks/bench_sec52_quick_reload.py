@@ -1,0 +1,8 @@
+"""§5.2 bench: VMM reboot via quick reload (11 s) vs hardware reset (59 s)."""
+
+from benchmarks.conftest import reproduce
+
+
+def test_sec52_quick_reload(benchmark, record_result):
+    result = reproduce(benchmark, record_result, "SEC52")
+    assert result.data["hardware_reset"] - result.data["quick_reload"] > 40

@@ -1,0 +1,14 @@
+"""§5.3 bench: availability nines under the weekly usage model.
+
+Warm must reach four nines; cold and saved stay at three.
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_sec53_availability(benchmark, record_result):
+    result = reproduce(benchmark, record_result, "SEC53")
+    availability = result.data["availability"]
+    assert availability["warm"] > availability["cold"] > availability["saved"]
+    assert availability["warm"] >= 0.9999
+    assert availability["cold"] < 0.9999

@@ -1,0 +1,19 @@
+"""§5.6 bench: refit the downtime model and re-derive r(n).
+
+The fitted lines must match the paper's coefficients and r(n) must be
+positive for every n and α — the warm-VM reboot always wins.
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_sec56_model_fit(benchmark, record_result):
+    result = reproduce(benchmark, record_result, "SEC56")
+    model = result.data["model"]
+    assert model.always_positive()
+    # reboot_vmm(n) falls with n: preserved memory is not rescrubbed.
+    assert model.reboot_vmm.slope < 0
+    # The fits should be very linear (the model's premise).
+    fits = result.data["fits"]
+    for name in ("reboot_vmm", "resume", "reboot_os", "boot"):
+        assert fits[name].r_squared > 0.98, name

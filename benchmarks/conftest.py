@@ -1,0 +1,52 @@
+"""Benchmark-harness plumbing.
+
+Each ``bench_*`` module reproduces one table/figure via its experiment
+runner, times it with pytest-benchmark, asserts the paper's shape holds,
+and writes the rendered paper-vs-measured tables to
+``benchmarks/results/<ID>.txt`` so the artifacts survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def record_result():
+    """Save an ExperimentResult's rendering (txt) and, when it is a real
+    ExperimentResult, its rows as CSV/JSON under benchmarks/results/."""
+
+    def save(result) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(result.render() + "\n", encoding="utf-8")
+        if getattr(result, "rows", None):
+            from repro.analysis.export import write_result
+
+            write_result(result, RESULTS_DIR)
+
+    return save
+
+
+def reproduce(benchmark, record_result, experiment_id: str, full: bool = False):
+    """Run one experiment under the benchmark clock and check its shape."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id,), kwargs={"full": full},
+        rounds=1, iterations=1,
+    )
+    record_result(result)
+    failing = [row for row in result.rows if not row.within_tolerance]
+    assert not failing, (
+        f"{experiment_id} deviates from the paper: "
+        + "; ".join(
+            f"{row.label} (paper {row.paper}, measured {row.measured:.4g})"
+            for row in failing
+        )
+    )
+    return result

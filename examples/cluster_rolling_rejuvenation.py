@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Cluster maintenance: warm rolling reboot vs cold vs live migration (§6).
+
+Three replicated web hosts behind a round-robin load balancer (plus a
+spare for the migration scheme).  Every host's VMM gets rejuvenated; the
+script reports what the cluster's clients saw under each scheme.
+
+Run:  python examples/cluster_rolling_rejuvenation.py
+"""
+
+from repro.analysis import render_table
+from repro.cluster import (
+    Cluster,
+    LoadBalancer,
+    MigrationRejuvenator,
+    RollingRejuvenator,
+)
+from repro.simkernel import Simulator
+from repro.units import fmt_duration
+
+
+def run_scheme(scheme: str) -> dict:
+    sim = Simulator()
+    cluster = Cluster(
+        sim,
+        size=3,
+        vms_per_host=1,
+        services=("ssh",),
+        spare=(scheme == "migration"),
+    )
+    sim.run(sim.spawn(cluster.start()))
+    balancer = LoadBalancer(sim, lambda: cluster.services("sshd"))
+
+    rejected_at: list[float] = []
+
+    def lb_prober(sim):
+        while True:
+            try:
+                balancer.pick()
+            except Exception:
+                rejected_at.append(sim.now)
+            yield sim.timeout(1.0)
+
+    probe = sim.spawn(lb_prober(sim))
+    start = sim.now
+    if scheme == "migration":
+        rejuvenator = MigrationRejuvenator(cluster, strategy="cold")
+    else:
+        rejuvenator = RollingRejuvenator(cluster, strategy=scheme, settle_s=10)
+    sim.run(sim.spawn(rejuvenator.run()))
+    probe.kill()
+    return {
+        "scheme": scheme,
+        "maintenance": sim.now - start,
+        "lb_rejections": len(rejected_at),
+        "dispatched": balancer.dispatched,
+        "hosts": len(rejuvenator.completed),
+    }
+
+
+def main() -> None:
+    print("== cluster-wide VMM rejuvenation, three schemes ==\n")
+    results = [run_scheme(s) for s in ("warm", "cold", "migration")]
+    print(
+        render_table(
+            ["scheme", "hosts", "total maintenance", "LB probes refused"],
+            [
+                (
+                    r["scheme"],
+                    r["hosts"],
+                    fmt_duration(r["maintenance"]),
+                    r["lb_rejections"],
+                )
+                for r in results
+            ],
+        )
+    )
+    print(
+        "\nWith >= 2 replicas, every scheme keeps the *service* up (the load\n"
+        "balancer always finds a live replica); they differ in degraded-\n"
+        "capacity time — seconds per host for warm, minutes for cold, and\n"
+        "tens of minutes (plus a dedicated spare) for live migration."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: rejuvenate a consolidated server three ways.
+
+Builds the paper's testbed (12 GB Opteron box) with four 1 GiB VMs
+running sshd, then reboots the hypervisor with each strategy and prints
+what the guests experienced.  The punchline is the paper's: the warm-VM
+reboot needs neither disk I/O for memory images nor a hardware reset nor
+guest reboots, so downtime collapses.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import RootHammer, VMSpec
+from repro.units import fmt_duration, gib
+
+
+def main() -> None:
+    print("== RootHammer quickstart ==\n")
+    for strategy in ("warm", "cold", "saved"):
+        # A fresh simulated server per strategy so runs are independent.
+        controller = RootHammer.started(
+            vms=[
+                VMSpec(f"vm{i}", memory_bytes=gib(1), services=("ssh",))
+                for i in range(4)
+            ]
+        )
+        guest_before = controller.guest("vm0")
+        guest_before.page_cache.insert("/var/cache/hot-data", gib(1) // 4)
+
+        t0 = controller.now
+        report = controller.rejuvenate(strategy)
+        summary = controller.downtime_summary(since=t0)
+
+        guest_after = controller.guest("vm0")
+        cache_survived = guest_after.page_cache.cached_bytes("/var/cache/hot-data")
+        print(f"--- {strategy}-VM reboot ---")
+        print(f"  total reboot time : {fmt_duration(report.total)}")
+        print(f"  service downtime  : {fmt_duration(summary.mean)} mean, "
+              f"{fmt_duration(summary.maximum)} worst VM")
+        print(f"  hardware reset    : "
+              f"{'yes' if report.has_phase('hardware-reset') else 'no'}")
+        print(f"  same guest image  : {guest_after is guest_before}")
+        print(f"  file cache intact : {cache_survived > 0}")
+        print("  phases:")
+        for phase in report.phases:
+            print(f"    {phase.name:20s} {phase.duration:8.2f} s")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""The rejuvenation hierarchy, hands on (§7 of the paper).
+
+One consolidated server, eleven JBoss VMs.  Rejuvenate at every
+granularity — a single service process, a guest OS (with and without
+process checkpointing), the privileged VM, and the hypervisor itself
+(warm and cold) — and watch what each level costs and what it preserves.
+
+Run:  python examples/rejuvenation_granularity.py
+"""
+
+from repro.analysis import extract_downtimes, render_table
+from repro.core import RootHammer, VMSpec
+from repro.units import gib
+
+VM = "vm00"
+
+
+def measure(action: str) -> tuple[float, str]:
+    """Returns (JBoss downtime on vm00, what survived)."""
+    rh = RootHammer.started(
+        vms=[
+            VMSpec(f"vm{i:02d}", memory_bytes=gib(1), services=("jboss",))
+            for i in range(11)
+        ]
+    )
+    host = rh.host
+    service_before = rh.guest(VM).service("jboss")
+    rh.run_process(service_before.handle_request())  # some application state
+    guest_before = rh.guest(VM)
+    start_count_before = service_before.start_count
+    t0 = rh.now
+
+    if action == "microreboot":
+        rh.run_process(host.restart_service(VM, "jboss"))
+    elif action == "os reboot + checkpoint":
+        rh.run_process(host.reboot_guest(VM, checkpoint_processes=True))
+    elif action == "os reboot":
+        rh.run_process(host.reboot_guest(VM))
+    elif action == "dom0-only reboot":
+        rh.rejuvenate("dom0-only")
+    elif action == "warm VMM reboot":
+        rh.rejuvenate("warm")
+    else:
+        rh.rejuvenate("cold")
+
+    intervals = [
+        i
+        for i in extract_downtimes(rh.sim.trace, since=t0, domain=VM)
+        if i.closed
+    ]
+    downtime = max((i.duration for i in intervals), default=0.0)
+
+    service_after = rh.guest(VM).service("jboss")
+    survived = []
+    if rh.guest(VM) is guest_before:
+        survived.append("memory image")
+    if (
+        service_after is service_before
+        and service_after.start_count == start_count_before
+    ):
+        survived.append("process")
+    elif service_after.requests_served > 0:
+        survived.append("app state (checkpoint)")
+    return downtime, ", ".join(survived) or "nothing"
+
+
+def main() -> None:
+    print("== the rejuvenation-granularity ladder (11 JBoss VMs) ==\n")
+    actions = [
+        "microreboot",
+        "os reboot + checkpoint",
+        "os reboot",
+        "dom0-only reboot",
+        "warm VMM reboot",
+        "cold VMM reboot",
+    ]
+    rows = []
+    for action in actions:
+        downtime, survived = measure(action)
+        rows.append((action, f"{downtime:.1f}", survived))
+    print(render_table(["action", "JBoss downtime (s)", "what survived"], rows))
+    print(
+        "\nThe warm-VM reboot sits at the bottom of the stack yet costs about\n"
+        "as much as a single guest's OS reboot — that positioning is the\n"
+        "paper's contribution in one line."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""RootHammer reproduction — warm-VM reboot for fast VMM rejuvenation.
+
+A production-quality simulation library reproducing *"A Fast Rejuvenation
+Technique for Server Consolidation with Virtual Machines"* (Kourai & Chiba,
+DSN 2007).  See README.md for a tour and DESIGN.md for the system
+inventory and experiment index.
+
+Top-level convenience re-exports cover the public API most users need;
+subpackages remain importable directly for advanced use.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]
+
+
+def __getattr__(name: str):  # pragma: no cover - thin lazy-import shim
+    """Lazily expose the main public classes at package top level.
+
+    Keeps ``import repro`` fast while allowing ``repro.RootHammer`` etc.
+    """
+    lazy = {
+        "Simulator": ("repro.simkernel", "Simulator"),
+        "TimingProfile": ("repro.config", "TimingProfile"),
+        "paper_testbed": ("repro.config", "paper_testbed"),
+        "PhysicalMachine": ("repro.hardware", "PhysicalMachine"),
+        "Hypervisor": ("repro.vmm", "Hypervisor"),
+        "RootHammer": ("repro.core", "RootHammer"),
+        "RebootStrategy": ("repro.core", "RebootStrategy"),
+    }
+    if name in lazy:
+        module_name, attr = lazy[name]
+        import importlib
+
+        module = importlib.import_module(module_name)
+        return getattr(module, attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,99 @@
+"""Aging detection and exhaustion estimation.
+
+Garg et al. (cited as [13]) detect aging by monitoring resource trends
+and estimating time to exhaustion.  :class:`AgingMonitor` does the same
+for the simulated VMM: it samples heap and xenstore consumption on an
+interval and fits a linear trend to predict when the resource runs out —
+which is what a rejuvenation scheduler would use to pick an interval.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.host import Host
+from repro.errors import AnalysisError, ConfigError
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceSample:
+    time: float
+    heap_used: int
+    heap_capacity: int
+    xenstore_used: int
+    xenstore_budget: int
+
+    @property
+    def heap_utilization(self) -> float:
+        return self.heap_used / self.heap_capacity
+
+
+class AgingMonitor:
+    """Samples VMM resource consumption on a fixed interval."""
+
+    def __init__(self, host: Host, interval_s: float = 3600.0) -> None:
+        if interval_s <= 0:
+            raise ConfigError("sampling interval must be positive")
+        self.host = host
+        self.interval_s = interval_s
+        self.samples: list[ResourceSample] = []
+
+    def sample_once(self) -> ResourceSample | None:
+        """Take one sample now (None if the VMM is down mid-reboot)."""
+        vmm = self.host.vmm
+        if vmm is None or vmm.xenstore is None:
+            return None
+        sample = ResourceSample(
+            time=self.host.sim.now,
+            heap_used=vmm.heap.used_bytes,
+            heap_capacity=vmm.heap.capacity_bytes,
+            xenstore_used=vmm.xenstore.used_bytes,
+            xenstore_budget=vmm.xenstore.budget_bytes,
+        )
+        self.samples.append(sample)
+        return sample
+
+    def run(self, until: float) -> typing.Generator:
+        """Sampling loop (a process)."""
+        sim = self.host.sim
+        while sim.now < until:
+            self.sample_once()
+            yield sim.timeout(min(self.interval_s, until - sim.now))
+        return self.samples
+
+    # -- estimation --------------------------------------------------------------
+
+    def heap_trend(self) -> tuple[float, float]:
+        """(slope bytes/s, intercept bytes) of heap consumption over time."""
+        from repro.analysis.fitting import fit_line
+
+        if len(self.samples) < 2:
+            raise AnalysisError("need at least two samples for a trend")
+        fit = fit_line(
+            [s.time for s in self.samples],
+            [float(s.heap_used) for s in self.samples],
+        )
+        return fit.slope, fit.intercept
+
+    def estimate_heap_exhaustion(self) -> float:
+        """Predicted absolute time when the heap runs out.
+
+        Returns ``inf`` when consumption is flat or shrinking — a healthy
+        system never "ages out".
+        """
+        slope, intercept = self.heap_trend()
+        if slope <= 0:
+            return float("inf")
+        capacity = self.samples[-1].heap_capacity
+        return (capacity - intercept) / slope
+
+    def recommended_rejuvenation_interval(self, safety: float = 0.8) -> float:
+        """Interval that rejuvenates at ``safety`` of predicted lifetime."""
+        if not 0 < safety <= 1:
+            raise AnalysisError("safety factor must be in (0, 1]")
+        exhaustion = self.estimate_heap_exhaustion()
+        if exhaustion == float("inf"):
+            return float("inf")
+        lifetime = exhaustion - self.samples[0].time
+        return max(lifetime * safety, 0.0)

@@ -1,0 +1,171 @@
+"""Rejuvenation scheduling policies (§3.2, Figure 2).
+
+:class:`TimeBasedRejuvenator` drives a host through the paper's usage
+model: each guest OS is rejuvenated a fixed interval after *its own* last
+rejuvenation, and the VMM is rejuvenated on its own (longer) period.  The
+figure-2 behaviour falls out of one rule: a **cold** VMM reboot reboots
+every guest, so it counts as an OS rejuvenation and pushes each guest's
+next one out; a **warm** (or saved) reboot leaves guest schedules alone.
+
+:class:`ThresholdRejuvenator` is the load/condition-based variant
+(Garg et al., cited as [12]): it watches VMM heap utilization and
+rejuvenates when a threshold is crossed — the "rejuvenate because aging
+is observed" policy, implemented as an extension.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.host import Host
+from repro.core.strategies import RebootStrategy
+from repro.errors import ConfigError
+from repro.units import WEEK
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduledEvent:
+    """One rejuvenation the policy performed."""
+
+    time: float
+    kind: str
+    """``"os"`` or ``"vmm"``."""
+
+    target: str
+    """Domain name for OS rejuvenation, strategy value for VMM."""
+
+    duration: float
+
+
+class TimeBasedRejuvenator:
+    """Time-based rejuvenation of guests and the VMM (§3.2)."""
+
+    def __init__(
+        self,
+        host: Host,
+        strategy: "str | RebootStrategy" = RebootStrategy.WARM,
+        os_interval_s: float = WEEK,
+        vmm_interval_s: float = 4 * WEEK,
+    ) -> None:
+        if os_interval_s <= 0 or vmm_interval_s <= 0:
+            raise ConfigError("rejuvenation intervals must be positive")
+        self.host = host
+        self.strategy = (
+            RebootStrategy(strategy) if isinstance(strategy, str) else strategy
+        )
+        self.os_interval_s = os_interval_s
+        self.vmm_interval_s = vmm_interval_s
+        self.events: list[ScheduledEvent] = []
+        self._last_os: dict[str, float] = {}
+        self._last_vmm = host.sim.now
+
+    @property
+    def _vmm_reboot_also_rejuvenates_os(self) -> bool:
+        return self.strategy is RebootStrategy.COLD
+
+    def run(self, until: float) -> typing.Generator:
+        """Drive the host's rejuvenation schedule to ``until`` (a process).
+
+        Rejuvenations that would *start* after ``until`` are not begun.
+        """
+        sim = self.host.sim
+        for name in self.host.vm_specs:
+            self._last_os.setdefault(name, sim.now)
+        while True:
+            next_os_name, next_os_at = self._next_os()
+            next_vmm_at = self._last_vmm + self.vmm_interval_s
+            next_at = min(next_os_at, next_vmm_at)
+            if next_at > until:
+                remaining = until - sim.now
+                if remaining > 0:
+                    yield sim.timeout(remaining)
+                return self.events
+            # A rejuvenation that overran may leave next_at in the past;
+            # perform the overdue one immediately.
+            yield sim.timeout(max(0.0, next_at - sim.now))
+            # Near-ties go to the VMM rejuvenation: when both land at the
+            # same instant, doing the VMM first lets a cold reboot subsume
+            # the pending OS rejuvenation instead of duplicating it.
+            if next_vmm_at <= next_os_at + 1.0:
+                yield from self._rejuvenate_vmm()
+            else:
+                yield from self._rejuvenate_os(next_os_name)
+
+    def _next_os(self) -> tuple[str, float]:
+        name = min(self._last_os, key=lambda n: (self._last_os[n], n))
+        return name, self._last_os[name] + self.os_interval_s
+
+    def _rejuvenate_os(self, name: str) -> typing.Generator:
+        sim = self.host.sim
+        started = sim.now
+        yield from self.host.reboot_guest(name)
+        self._last_os[name] = started
+        self.events.append(
+            ScheduledEvent(started, "os", name, sim.now - started)
+        )
+
+    def _rejuvenate_vmm(self) -> typing.Generator:
+        sim = self.host.sim
+        started = sim.now
+        yield from self.host.reboot(self.strategy)
+        self._last_vmm = started
+        if self._vmm_reboot_also_rejuvenates_os:
+            # Figure 2(b): the cold reboot rejuvenated every OS, so their
+            # next rejuvenations are rescheduled from now.
+            for name in self._last_os:
+                self._last_os[name] = started
+        self.events.append(
+            ScheduledEvent(started, "vmm", self.strategy.value, sim.now - started)
+        )
+
+    # -- reporting ---------------------------------------------------------------
+
+    def count(self, kind: str) -> int:
+        """How many rejuvenations of ``kind`` ('os'/'vmm') were done."""
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def total_downtime_proxy(self) -> float:
+        """Sum of rejuvenation durations (an upper bound on service
+        downtime; exact downtime comes from the trace)."""
+        return sum(e.duration for e in self.events)
+
+
+class ThresholdRejuvenator:
+    """Condition-based rejuvenation: act when heap aging crosses a line."""
+
+    def __init__(
+        self,
+        host: Host,
+        strategy: "str | RebootStrategy" = RebootStrategy.WARM,
+        heap_threshold: float = 0.8,
+        check_interval_s: float = 3600.0,
+    ) -> None:
+        if not 0 < heap_threshold < 1:
+            raise ConfigError("heap_threshold must be in (0, 1)")
+        if check_interval_s <= 0:
+            raise ConfigError("check_interval_s must be positive")
+        self.host = host
+        self.strategy = (
+            RebootStrategy(strategy) if isinstance(strategy, str) else strategy
+        )
+        self.heap_threshold = heap_threshold
+        self.check_interval_s = check_interval_s
+        self.rejuvenations: list[float] = []
+
+    def run(self, until: float) -> typing.Generator:
+        """Poll heap utilization; rejuvenate on threshold crossing."""
+        sim = self.host.sim
+        while sim.now < until:
+            yield sim.timeout(min(self.check_interval_s, until - sim.now))
+            vmm = self.host.vmm
+            if vmm is None:
+                continue
+            if vmm.heap.utilization >= self.heap_threshold:
+                sim.trace.record(
+                    "aging.threshold.trigger",
+                    utilization=vmm.heap.utilization,
+                )
+                yield from self.host.reboot(self.strategy)
+                self.rejuvenations.append(sim.now)
+        return self.rejuvenations

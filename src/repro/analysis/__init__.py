@@ -1,0 +1,64 @@
+"""Analysis utilities: downtime extraction, model fitting, timelines.
+
+Turns trace records and phase reports into the paper's reported
+quantities: Figure 6 downtimes, §5.6 fitted linear models, §3.2 downtime
+algebra, Figure 7 throughput timelines, §5.3 availability.
+"""
+
+from repro.analysis.downtime import (
+    DowntimeInterval,
+    DowntimeSummary,
+    downtime_by_domain,
+    extract_downtimes,
+    reboot_downtime_summary,
+)
+from repro.analysis.charts import bar_chart, line_plot
+from repro.analysis.downtime_model import DowntimeModel, paper_model
+from repro.analysis.export import (
+    result_to_json,
+    rows_to_csv,
+    series_to_csv,
+    write_result,
+)
+from repro.analysis.fitting import LinearFit, fit_constant, fit_line
+from repro.analysis.report import (
+    ComparisonRow,
+    all_within_tolerance,
+    render_comparison,
+    render_table,
+)
+from repro.analysis.timeline import (
+    AnnotatedTimeline,
+    bucketize,
+    mean_rate,
+    sum_series,
+    zero_intervals,
+)
+
+__all__ = [
+    "AnnotatedTimeline",
+    "bar_chart",
+    "line_plot",
+    "ComparisonRow",
+    "DowntimeInterval",
+    "DowntimeModel",
+    "DowntimeSummary",
+    "LinearFit",
+    "all_within_tolerance",
+    "bucketize",
+    "downtime_by_domain",
+    "extract_downtimes",
+    "fit_constant",
+    "fit_line",
+    "mean_rate",
+    "paper_model",
+    "reboot_downtime_summary",
+    "render_comparison",
+    "render_table",
+    "result_to_json",
+    "rows_to_csv",
+    "series_to_csv",
+    "sum_series",
+    "write_result",
+    "zero_intervals",
+]

@@ -1,0 +1,110 @@
+"""Text chart rendering: reproduce the paper's figures as terminal art.
+
+The experiment runners already produce the data; these helpers draw it —
+grouped bar charts for Figures 4/5/6 and line plots for the throughput
+timelines — so ``roothammer-experiments`` output looks like the paper's
+evaluation section, not just tables.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import AnalysisError
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(
+    title: str,
+    groups: typing.Sequence[tuple[str, typing.Mapping[str, float]]],
+    width: int = 48,
+    unit: str = "s",
+    log_floor: float | None = None,
+) -> str:
+    """A grouped horizontal bar chart.
+
+    ``groups`` is ``[(group_label, {series_label: value, ...}), ...]`` —
+    e.g. one group per VM count with warm/saved/cold bars, Figure 6 style.
+    ``log_floor`` switches to a log scale with the given positive floor,
+    which is how the paper plots Figure 4's four-orders-of-magnitude span.
+    """
+    if width < 8:
+        raise AnalysisError("chart width must be >= 8")
+    values = [v for _, series in groups for v in series.values()]
+    if not values:
+        return f"{title}\n(no data)"
+    peak = max(values)
+    if peak <= 0:
+        peak = 1.0
+    if log_floor is not None:
+        if log_floor <= 0:
+            raise AnalysisError("log_floor must be positive")
+        import math
+
+        def scale(value: float) -> float:
+            clamped = max(value, log_floor)
+            return math.log(clamped / log_floor) / math.log(peak / log_floor)
+
+    else:
+        def scale(value: float) -> float:
+            return value / peak
+
+    label_width = max(
+        [len(label) for _, series in groups for label in series]
+        + [len(g) for g, _ in groups]
+    )
+    lines = [title]
+    for group_label, series in groups:
+        lines.append(f"{group_label}:")
+        for label, value in series.items():
+            filled = scale(value) * width
+            whole = int(filled)
+            bar = _BAR * whole + (_HALF if filled - whole >= 0.5 else "")
+            lines.append(
+                f"  {label:<{label_width}} |{bar:<{width}}| {value:.4g} {unit}"
+            )
+    return "\n".join(lines)
+
+
+def line_plot(
+    title: str,
+    series: typing.Mapping[str, typing.Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 12,
+) -> str:
+    """A multi-series scatter/line plot on a character grid.
+
+    Each series gets a marker; points are mapped onto a ``width``×``height``
+    grid spanning the union of all x/y ranges.  Good enough to *see* the
+    Figure 5 slopes diverge.
+    """
+    if width < 8 or height < 4:
+        raise AnalysisError("plot must be at least 8x4")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    legend = []
+    for index, (name, pts) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker}={name}")
+        for x, y in pts:
+            column = int((x - x_low) / x_span * (width - 1))
+            row = height - 1 - int((y - y_low) / y_span * (height - 1))
+            grid[row][column] = marker
+    lines = [title]
+    for row_index, row in enumerate(grid):
+        y_value = y_high - row_index * y_span / (height - 1)
+        lines.append(f"{y_value:>10.4g} |{''.join(row)}|")
+    lines.append(f"{'':>10}  {x_low:<10.4g}{'':{max(0, width - 20)}}{x_high:>10.4g}")
+    lines.append(f"{'':>10}  {'  '.join(legend)}")
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""The analytic downtime model of §3.2 and its §5.6 instantiation.
+
+Given the measured linear functions
+
+* ``reboot_vmm(n)`` — VMM reboot time with ``n`` VMs suspended/resumed,
+* ``resume(n)`` — on-memory suspend + resume of ``n`` VMs,
+* ``reboot_os(n)`` — shutdown + boot of ``n`` guests in parallel,
+* ``reset_hw`` — the hardware reset,
+
+the model predicts the downtime added by one VMM rejuvenation::
+
+    d_w(n) = reboot_vmm(n) + resume(n)
+    d_c(n) = reset_hw + reboot_vmm(0) + reboot_os(n) - reboot_os(1) * alpha
+    r(n)   = d_c(n) - d_w(n)
+
+The paper's instantiation gives ``r(n) = 3.9n + 60 - 17α``, positive for
+every α ≤ 1 — the warm-VM reboot always wins.  :meth:`DowntimeModel.r_coefficients`
+re-derives those three constants from whatever fits are supplied, so the
+reproduction can compare coefficient by coefficient.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.fitting import LinearFit
+from repro.errors import AnalysisError
+
+
+@dataclasses.dataclass(frozen=True)
+class DowntimeModel:
+    """§3.2's model, parameterized by measured (or paper) fits."""
+
+    reboot_vmm: LinearFit
+    resume: LinearFit
+    reboot_os: LinearFit
+    reset_hw: float
+
+    def __post_init__(self) -> None:
+        if self.reset_hw < 0:
+            raise AnalysisError("reset_hw must be >= 0")
+
+    # -- the model ----------------------------------------------------------------
+
+    def d_warm(self, n: int) -> float:
+        """Downtime increase per VMM rejuvenation, warm-VM reboot."""
+        self._check_n(n)
+        return self.reboot_vmm(n) + self.resume(n)
+
+    def d_cold(self, n: int, alpha: float = 0.5) -> float:
+        """Downtime increase per VMM rejuvenation, cold-VM reboot."""
+        self._check_n(n)
+        self._check_alpha(alpha)
+        return (
+            self.reset_hw
+            + self.reboot_vmm(0)
+            + self.reboot_os(n)
+            - self.reboot_os(1) * alpha
+        )
+
+    def r(self, n: int, alpha: float = 0.5) -> float:
+        """Downtime reduced by using the warm-VM reboot."""
+        return self.d_cold(n, alpha) - self.d_warm(n)
+
+    def r_coefficients(self) -> tuple[float, float, float]:
+        """(slope, constant, alpha_coefficient) of
+        ``r(n) = slope*n + constant + alpha_coefficient*α``.
+
+        The paper reports (3.9, 60, -17).
+        """
+        slope = -self.reboot_vmm.slope + self.reboot_os.slope - self.resume.slope
+        constant = (
+            self.reset_hw + self.reboot_os.intercept - self.resume.intercept
+        )
+        alpha_coefficient = -self.reboot_os.predict(1)
+        return slope, constant, alpha_coefficient
+
+    def always_positive(self, max_n: int = 64) -> bool:
+        """Is the warm-VM reboot a win for every n >= 1 and α <= 1?"""
+        return all(
+            self.r(n, alpha) > 0
+            for n in range(1, max_n + 1)
+            for alpha in (0.01, 0.5, 1.0)
+        )
+
+    @staticmethod
+    def _check_n(n: int) -> None:
+        if n < 0:
+            raise AnalysisError(f"VM count must be >= 0, got {n}")
+
+    @staticmethod
+    def _check_alpha(alpha: float) -> None:
+        if not 0 < alpha <= 1:
+            raise AnalysisError(f"alpha must be in (0, 1], got {alpha}")
+
+
+def paper_model() -> DowntimeModel:
+    """§5.6's published instantiation (for comparison with simulated)."""
+    return DowntimeModel(
+        reboot_vmm=LinearFit(-0.55, 43.0, 1.0),
+        resume=LinearFit(0.43, -0.07, 1.0),
+        reboot_os=LinearFit(3.8, 13.0, 1.0),
+        reset_hw=47.0,
+    )

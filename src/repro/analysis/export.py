@@ -1,0 +1,127 @@
+"""Exporting experiment results to CSV and JSON.
+
+Downstream users want the reproduced series as data, not just rendered
+tables.  These helpers serialize :class:`~repro.experiments.common.ExperimentResult`
+comparison rows and arbitrary (x, y...) series to files, with no
+third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+import pathlib
+import typing
+
+from repro.errors import AnalysisError
+
+
+def rows_to_csv(rows: typing.Sequence[typing.Any]) -> str:
+    """Serialize ComparisonRow-like objects to CSV text."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["label", "paper", "measured", "unit", "ratio", "within_tolerance"])
+    for row in rows:
+        writer.writerow(
+            [row.label, row.paper, row.measured, row.unit, row.ratio,
+             row.within_tolerance]
+        )
+    return out.getvalue()
+
+
+def series_to_csv(
+    series: typing.Mapping[str, typing.Sequence[typing.Sequence[float]]],
+    x_label: str = "x",
+) -> str:
+    """Serialize named series of equal-x tuples to one wide CSV.
+
+    ``series`` maps a name to a list of tuples whose first element is the
+    shared x value, e.g. ``{"warm": [(1, 42.0), (3, 41.2)], ...}``.
+    """
+    if not series:
+        raise AnalysisError("no series to export")
+    xs_reference: list[float] | None = None
+    for name, points in series.items():
+        xs = [p[0] for p in points]
+        if xs_reference is None:
+            xs_reference = xs
+        elif xs != xs_reference:
+            raise AnalysisError(
+                f"series {name!r} has a different x-axis; export separately"
+            )
+    assert xs_reference is not None
+    names = list(series)
+    widths = {name: len(series[name][0]) - 1 for name in names}
+    out = io.StringIO()
+    writer = csv.writer(out)
+    header = [x_label]
+    for name in names:
+        if widths[name] == 1:
+            header.append(name)
+        else:
+            header.extend(f"{name}.{i}" for i in range(widths[name]))
+    writer.writerow(header)
+    for index, x in enumerate(xs_reference):
+        row: list[float] = [x]
+        for name in names:
+            row.extend(series[name][index][1:])
+        writer.writerow(row)
+    return out.getvalue()
+
+
+def _jsonable(value: typing.Any) -> typing.Any:
+    """Best-effort conversion of experiment data to JSON-safe values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def result_to_json(result: typing.Any, include_data: bool = False) -> str:
+    """Serialize an ExperimentResult to JSON text."""
+    payload: dict[str, typing.Any] = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "shape_reproduced": result.shape_reproduced,
+        "rows": [
+            {
+                "label": row.label,
+                "paper": row.paper,
+                "measured": row.measured,
+                "unit": row.unit,
+                "ratio": row.ratio,
+                "within_tolerance": row.within_tolerance,
+            }
+            for row in result.rows
+        ],
+    }
+    if include_data:
+        payload["data"] = _jsonable(result.data)
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def write_result(
+    result: typing.Any,
+    directory: "str | pathlib.Path",
+    include_data: bool = False,
+) -> list[pathlib.Path]:
+    """Write ``<ID>.csv`` and ``<ID>.json`` into ``directory``."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    csv_path = directory / f"{result.experiment_id}.csv"
+    json_path = directory / f"{result.experiment_id}.json"
+    csv_path.write_text(rows_to_csv(result.rows), encoding="utf-8")
+    json_path.write_text(
+        result_to_json(result, include_data=include_data), encoding="utf-8"
+    )
+    return [csv_path, json_path]

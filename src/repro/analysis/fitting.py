@@ -1,0 +1,66 @@
+"""Least-squares line fitting for the §5.6 model extraction.
+
+The paper fits linear functions — ``reboot_vmm(n) = -0.55n + 43`` and
+friends — to its measured sweeps.  :func:`fit_line` does the same over
+simulated sweeps so the reproduced coefficients can be compared term by
+term.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclasses.dataclass(frozen=True)
+class LinearFit:
+    """``y = slope * x + intercept`` with goodness-of-fit."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted line at ``x``."""
+        return self.slope * x + self.intercept
+
+    def __call__(self, x: float) -> float:
+        return self.predict(x)
+
+    def formatted(self, variable: str = "n", decimals: int = 2) -> str:
+        """Render like the paper: ``-0.55n + 43``."""
+        slope = round(self.slope, decimals)
+        intercept = round(self.intercept, decimals)
+        sign = "+" if intercept >= 0 else "-"
+        return f"{slope:g}{variable} {sign} {abs(intercept):g}"
+
+
+def fit_line(
+    xs: typing.Sequence[float], ys: typing.Sequence[float]
+) -> LinearFit:
+    """Ordinary least squares fit of a line through (xs, ys)."""
+    if len(xs) != len(ys):
+        raise AnalysisError(f"length mismatch: {len(xs)} xs vs {len(ys)} ys")
+    if len(xs) < 2:
+        raise AnalysisError("need at least two points to fit a line")
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if np.allclose(x, x[0]):
+        raise AnalysisError("cannot fit a line to a single x value")
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    residual = float(np.sum((y - predicted) ** 2))
+    total = float(np.sum((y - np.mean(y)) ** 2))
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return LinearFit(float(slope), float(intercept), r_squared)
+
+
+def fit_constant(ys: typing.Sequence[float]) -> float:
+    """Mean of repeated measurements (e.g. ``reset_hw``)."""
+    if not ys:
+        raise AnalysisError("need at least one measurement")
+    return float(np.mean(np.asarray(ys, dtype=float)))

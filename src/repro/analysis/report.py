@@ -1,0 +1,96 @@
+"""Report rendering: fixed-width tables and paper-vs-measured comparisons.
+
+Every experiment runner produces :class:`ComparisonRow` entries; the
+benchmark harness prints them and EXPERIMENTS.md records them, so the
+reproduction's verdict is the same artifact everywhere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+from repro.errors import AnalysisError
+
+
+@dataclasses.dataclass(frozen=True)
+class ComparisonRow:
+    """One paper-vs-measured quantity."""
+
+    label: str
+    paper: float
+    measured: float
+    unit: str = "s"
+    tolerance: float = 0.35
+    """Relative deviation considered 'matching the paper's shape'."""
+
+    @property
+    def ratio(self) -> float:
+        if self.paper == 0:
+            return math.inf if self.measured else 1.0
+        return self.measured / self.paper
+
+    @property
+    def within_tolerance(self) -> bool:
+        if self.paper == 0:
+            return abs(self.measured) < 1e-9
+        return abs(self.ratio - 1.0) <= self.tolerance
+
+
+def render_table(
+    headers: typing.Sequence[str],
+    rows: typing.Sequence[typing.Sequence[typing.Any]],
+) -> str:
+    """Fixed-width text table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise AnalysisError("row width does not match headers")
+    cells = [[str(h) for h in headers]] + [
+        [_format_cell(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append(
+            "  ".join(value.rjust(width) for value, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _format_cell(value: typing.Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_comparison(
+    title: str, rows: typing.Sequence[ComparisonRow]
+) -> str:
+    """The standard experiment verdict block."""
+    body = render_table(
+        ["quantity", "paper", "measured", "unit", "ratio", "shape ok"],
+        [
+            (
+                row.label,
+                row.paper,
+                row.measured,
+                row.unit,
+                row.ratio,
+                row.within_tolerance,
+            )
+            for row in rows
+        ],
+    )
+    verdict = "SHAPE REPRODUCED" if all(r.within_tolerance for r in rows) else (
+        "DEVIATIONS PRESENT"
+    )
+    return f"== {title} ==\n{body}\n-> {verdict}"
+
+
+def all_within_tolerance(rows: typing.Iterable[ComparisonRow]) -> bool:
+    """True when every comparison row matches the paper's shape."""
+    return all(row.within_tolerance for row in rows)

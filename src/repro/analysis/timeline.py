@@ -1,0 +1,123 @@
+"""Throughput timelines (Figures 7 and 9).
+
+Turns a stream of request completions into time-bucketed rate series,
+merges several hosts' series into a cluster total, and annotates a series
+with reboot phases — everything needed to print the paper's two timeline
+figures as text.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import AnalysisError
+
+TimePoint = tuple[float, float]
+
+
+def bucketize(
+    completion_times: typing.Sequence[float],
+    bucket_s: float,
+    start: float | None = None,
+    end: float | None = None,
+) -> list[TimePoint]:
+    """Completions -> [(bucket_start, rate per second)].
+
+    Buckets with no completions are present with rate 0, so outages appear
+    as zeros rather than gaps.
+    """
+    if bucket_s <= 0:
+        raise AnalysisError("bucket size must be positive")
+    times = sorted(completion_times)
+    if start is None:
+        start = times[0] if times else 0.0
+    if end is None:
+        end = times[-1] if times else start
+    if end < start:
+        raise AnalysisError("end must be >= start")
+    buckets: list[TimePoint] = []
+    edge = start
+    index = 0
+    while edge <= end:
+        count = 0
+        while index < len(times) and times[index] < edge + bucket_s:
+            if times[index] >= edge:
+                count += 1
+            index += 1
+        buckets.append((edge, count / bucket_s))
+        edge += bucket_s
+    return buckets
+
+
+def sum_series(series: typing.Sequence[list[TimePoint]]) -> list[TimePoint]:
+    """Pointwise sum of equally-bucketed series (the cluster total of
+    Figure 9).  Series may have different lengths; missing points are 0."""
+    if not series:
+        return []
+    longest = max(series, key=len)
+    totals = []
+    for i, (t, _) in enumerate(longest):
+        total = 0.0
+        for s in series:
+            if i < len(s):
+                if abs(s[i][0] - t) > 1e-6:
+                    raise AnalysisError("series are not aligned")
+                total += s[i][1]
+        totals.append((t, total))
+    return totals
+
+
+def mean_rate(
+    series: typing.Sequence[TimePoint],
+    since: float = float("-inf"),
+    until: float = float("inf"),
+) -> float:
+    """Average rate over the buckets inside [since, until]."""
+    window = [rate for t, rate in series if since <= t <= until]
+    if not window:
+        raise AnalysisError("no buckets in the requested window")
+    return sum(window) / len(window)
+
+
+@dataclasses.dataclass(frozen=True)
+class AnnotatedTimeline:
+    """A rate series plus named phase intervals (Figure 7's breakdown)."""
+
+    series: list[TimePoint]
+    phases: list[tuple[str, float, float]]
+
+    def render(self, width: int = 60, label_width: int = 8) -> str:
+        """ASCII sparkline of the series with phase annotations below."""
+        if not self.series:
+            return "(empty timeline)"
+        peak = max(rate for _, rate in self.series) or 1.0
+        blocks = " ▁▂▃▄▅▆▇█"
+        line = "".join(
+            blocks[min(int(rate / peak * (len(blocks) - 1)), len(blocks) - 1)]
+            for _, rate in self.series[:width]
+        )
+        t0 = self.series[0][0]
+        t1 = self.series[min(len(self.series), width) - 1][0]
+        out = [f"{'rate':>{label_width}} |{line}|  peak={peak:.3g}/s"]
+        out.append(f"{'time':>{label_width}}  {t0:<10.4g}{'':{max(0, width - 20)}}{t1:>10.4g}")
+        for name, start, end in self.phases:
+            out.append(f"{'':>{label_width}}  {name}: {start:.4g} .. {end:.4g}")
+        return "\n".join(out)
+
+
+def zero_intervals(
+    series: typing.Sequence[TimePoint], bucket_s: float
+) -> list[tuple[float, float]]:
+    """Maximal runs of zero-rate buckets — observed outages."""
+    intervals: list[tuple[float, float]] = []
+    run_start: float | None = None
+    for t, rate in series:
+        if rate == 0 and run_start is None:
+            run_start = t
+        elif rate > 0 and run_start is not None:
+            intervals.append((run_start, t))
+            run_start = None
+    if run_start is not None and series:
+        intervals.append((run_start, series[-1][0] + bucket_s))
+    return intervals

@@ -1,0 +1,36 @@
+"""Cluster environment: load balancing, live migration, rolling rejuvenation.
+
+The §6 analysis: how the warm-VM reboot compares, at cluster level, to
+cold reboots and to live-migration-based maintenance with a spare host.
+"""
+
+from repro.cluster.cluster import Cluster, LoadBalancer
+from repro.cluster.planner import (
+    CampaignResult,
+    MaintenancePlan,
+    MaintenancePlanner,
+)
+from repro.cluster.migration import (
+    MigrationSpec,
+    live_migrate,
+    migrate_all,
+)
+from repro.cluster.rolling import (
+    HostRejuvenation,
+    MigrationRejuvenator,
+    RollingRejuvenator,
+)
+
+__all__ = [
+    "CampaignResult",
+    "Cluster",
+    "MaintenancePlan",
+    "MaintenancePlanner",
+    "HostRejuvenation",
+    "LoadBalancer",
+    "MigrationRejuvenator",
+    "MigrationSpec",
+    "RollingRejuvenator",
+    "live_migrate",
+    "migrate_all",
+]

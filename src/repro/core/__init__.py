@@ -1,0 +1,53 @@
+"""The paper's contribution: warm-VM reboot and its orchestration.
+
+* :class:`RootHammerHypervisor` — on-memory suspend/resume + quick reload;
+* :class:`Host` / :class:`VMSpec` — one consolidated server;
+* reboot strategies — warm (the technique), saved and cold (baselines),
+  dom0-only (future-work extension);
+* :class:`RootHammer` — the high-level controller facade.
+"""
+
+from repro.core.controller import RootHammer
+from repro.core.host import Host, VMSpec
+from repro.core.roothammer import RootHammerHypervisor
+from repro.core.save_variants import (
+    ALL_VARIANTS,
+    COMPRESSED,
+    INCREMENTAL,
+    PLAIN,
+    RAMDISK,
+    SaveVariant,
+    variant_by_name,
+)
+from repro.core.strategies import (
+    Phase,
+    RebootReport,
+    RebootStrategy,
+    cold_reboot,
+    dom0_reboot,
+    execute,
+    saved_reboot,
+    warm_reboot,
+)
+
+__all__ = [
+    "ALL_VARIANTS",
+    "COMPRESSED",
+    "INCREMENTAL",
+    "PLAIN",
+    "RAMDISK",
+    "SaveVariant",
+    "variant_by_name",
+    "Host",
+    "Phase",
+    "RebootReport",
+    "RebootStrategy",
+    "RootHammer",
+    "RootHammerHypervisor",
+    "VMSpec",
+    "cold_reboot",
+    "dom0_reboot",
+    "execute",
+    "saved_reboot",
+    "warm_reboot",
+]

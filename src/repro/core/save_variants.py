@@ -1,0 +1,100 @@
+"""Related-work save/restore accelerations (§7) as extra baselines.
+
+The paper's related-work section surveys three ways to make the *saved*
+path faster and argues none of them reaches the warm-VM reboot:
+
+* **incremental saves** (VMware): write only the pages modified since a
+  base image — cuts disk writes on suspend but "disk accesses on resume
+  are not reduced";
+* **compressed images** (Windows XP hibernation): fewer bytes both ways,
+  but CPU is spent compressing and decompressing;
+* **non-volatile RAM disks** (i-RAM): no seeks and a faster medium, but
+  "it takes time to copy the memory images" through the SATA-attached
+  device, and the hardware is expensive.
+
+:class:`SaveVariant` parameterizes the baseline save/restore path with
+those three accelerations so the claim can be *measured*: each variant
+shrinks the saved-VM reboot's downtime, none gets near the warm reboot
+(see ``benchmarks/bench_related_work.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigError
+from repro.units import MiB
+
+
+@dataclasses.dataclass(frozen=True)
+class SaveVariant:
+    """One configuration of the disk-based save/restore path."""
+
+    name: str
+
+    compression_ratio: float = 1.0
+    """Bytes on the medium per byte of memory (0.5 = 2:1 compression)."""
+
+    compression_cpu_s_per_gib: float = 0.0
+    """CPU seconds per GiB spent compressing (save) and decompressing
+    (restore)."""
+
+    save_fraction: float = 1.0
+    """Fraction of the image written on save (incremental checkpointing:
+    only the modification since the base image).  Restores always read
+    the full image."""
+
+    medium: str = "disk"
+    """``"disk"`` (the SCSI disk) or ``"ramdisk"`` (an i-RAM-like
+    battery-backed DRAM disk on SATA)."""
+
+    def __post_init__(self) -> None:
+        if not 0 < self.compression_ratio <= 1:
+            raise ConfigError("compression_ratio must be in (0, 1]")
+        if self.compression_cpu_s_per_gib < 0:
+            raise ConfigError("compression CPU cost must be >= 0")
+        if not 0 < self.save_fraction <= 1:
+            raise ConfigError("save_fraction must be in (0, 1]")
+        if self.medium not in ("disk", "ramdisk"):
+            raise ConfigError(f"unknown save medium {self.medium!r}")
+
+    def save_bytes(self, memory_bytes: int) -> int:
+        """Bytes written to the medium when saving."""
+        return int(memory_bytes * self.save_fraction * self.compression_ratio)
+
+    def restore_bytes(self, memory_bytes: int) -> int:
+        """Bytes read from the medium when restoring (always the full,
+        possibly compressed, image)."""
+        return int(memory_bytes * self.compression_ratio)
+
+    def codec_cpu_s(self, memory_bytes: int) -> float:
+        """CPU work for one (de)compression pass over the image."""
+        return self.compression_cpu_s_per_gib * memory_bytes / (1024 * MiB)
+
+
+PLAIN = SaveVariant("plain")
+"""Original Xen behaviour: full uncompressed image to the SCSI disk."""
+
+INCREMENTAL = SaveVariant("incremental", save_fraction=0.3)
+"""VMware-style: ~30 % of the image dirty since the base checkpoint."""
+
+COMPRESSED = SaveVariant(
+    "compressed", compression_ratio=0.5, compression_cpu_s_per_gib=3.0
+)
+"""Windows-XP-hibernation-style: 2:1 compression at ~3 CPU-s per GiB."""
+
+RAMDISK = SaveVariant("ramdisk", medium="ramdisk")
+"""i-RAM-style non-volatile RAM disk: no seeks, SATA-limited bandwidth."""
+
+ALL_VARIANTS = (PLAIN, INCREMENTAL, COMPRESSED, RAMDISK)
+
+
+def variant_by_name(name: str) -> SaveVariant:
+    """Resolve a built-in variant by its name."""
+    for variant in ALL_VARIANTS:
+        if variant.name == name:
+            return variant
+    raise ConfigError(
+        f"unknown save variant {name!r}; known: "
+        + ", ".join(v.name for v in ALL_VARIANTS)
+    )

@@ -1,0 +1,77 @@
+"""Experiment runners: one per table/figure of the paper's evaluation.
+
+Each runner module exposes ``run(full: bool = False) -> ExperimentResult``;
+``full=True`` uses the paper's exact sweep sizes (all of n = 1..11,
+10 000-file corpora), ``full=False`` a sparse-but-representative subset
+for quick iteration.  The registry maps experiment ids to runners; the
+CLI and the benchmark harness both dispatch through it.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentResult, build_testbed
+
+_RUNNERS: dict[str, tuple[str, str]] = {
+    "FIG2": ("repro.experiments.fig2_schedule", "rejuvenation timing (Fig. 2)"),
+    "FIG4": ("repro.experiments.fig4_memsize", "task time vs memory size (Fig. 4)"),
+    "FIG5": ("repro.experiments.fig5_numvms", "task time vs VM count (Fig. 5)"),
+    "SEC52": ("repro.experiments.sec52_quick_reload", "quick reload (§5.2)"),
+    "FIG6": ("repro.experiments.fig6_downtime", "service downtime (Fig. 6)"),
+    "SEC53": ("repro.experiments.sec53_availability", "availability (§5.3)"),
+    "FIG7": ("repro.experiments.fig7_breakdown", "downtime breakdown (Fig. 7)"),
+    "FIG8": ("repro.experiments.fig8_degradation", "cache-loss degradation (Fig. 8)"),
+    "SEC56": ("repro.experiments.sec56_model_fit", "downtime model fit (§5.6)"),
+    "FIG9": ("repro.experiments.fig9_cluster", "cluster throughput (Fig. 9)"),
+    "EXT-PROACTIVE": (
+        "repro.experiments.ext_proactive",
+        "proactive vs reactive rejuvenation (extension)",
+    ),
+    "EXT-GRANULARITY": (
+        "repro.experiments.ext_granularity",
+        "the rejuvenation-granularity hierarchy (extension)",
+    ),
+}
+
+
+def experiment_ids() -> list[str]:
+    """All known experiment ids, in paper order."""
+    return list(_RUNNERS)
+
+
+def describe(experiment_id: str) -> str:
+    """One-line description of an experiment id."""
+    try:
+        return _RUNNERS[experiment_id.upper()][1]
+    except KeyError:
+        raise ReproError(f"unknown experiment {experiment_id!r}") from None
+
+
+def run_experiment(experiment_id: str, full: bool = False) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"FIG6"``)."""
+    import importlib
+
+    key = experiment_id.upper()
+    if key not in _RUNNERS:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; known: {', '.join(_RUNNERS)}"
+        )
+    module = importlib.import_module(_RUNNERS[key][0])
+    return module.run(full=full)
+
+
+def run_all(full: bool = False) -> dict[str, ExperimentResult]:
+    """Run the whole evaluation section."""
+    return {key: run_experiment(key, full=full) for key in _RUNNERS}
+
+
+__all__ = [
+    "ExperimentResult",
+    "build_testbed",
+    "describe",
+    "experiment_ids",
+    "run_all",
+    "run_experiment",
+]

@@ -1,0 +1,84 @@
+"""Command-line entry point: ``roothammer-experiments``.
+
+Usage::
+
+    roothammer-experiments --list
+    roothammer-experiments FIG6 SEC52
+    roothammer-experiments --all --full
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import typing
+
+from repro.experiments import (
+    describe,
+    experiment_ids,
+    run_experiment,
+)
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="roothammer-experiments",
+        description=(
+            "Reproduce the evaluation of 'A Fast Rejuvenation Technique "
+            "for Server Consolidation with Virtual Machines' (DSN 2007)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help="experiment ids (FIG4, FIG5, SEC52, FIG6, SEC53, FIG7, FIG8, "
+        "SEC56, FIG9, FIG2)",
+    )
+    parser.add_argument("--all", action="store_true", help="run everything")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's full sweep sizes (slower)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--export",
+        metavar="DIR",
+        help="also write each result as CSV and JSON into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key in experiment_ids():
+            print(f"{key:6s} {describe(key)}")
+        return 0
+
+    targets = experiment_ids() if args.all else [e.upper() for e in args.experiments]
+    if not targets:
+        parser.error("give experiment ids, --all, or --list")
+
+    failures = 0
+    for key in targets:
+        started = time.time()
+        result = run_experiment(key, full=args.full)
+        elapsed = time.time() - started
+        print(result.render())
+        print(f"[{key} took {elapsed:.1f}s wall clock]\n")
+        if args.export:
+            from repro.analysis.export import write_result
+
+            for path in write_result(result, args.export):
+                print(f"  wrote {path}")
+        if not result.shape_reproduced:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) deviated from the paper's shape",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

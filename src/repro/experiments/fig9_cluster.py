@@ -1,0 +1,205 @@
+"""Figure 9 / §6: total cluster throughput under three maintenance schemes.
+
+A cluster of m hosts serves one replicated web service.  During
+rejuvenation of one host the total drops to (m-1)p; the schemes differ in
+how long the dip lasts and what follows it:
+
+* **warm** rolling reboot — dip of ~42 s per host, full recovery;
+* **cold** rolling reboot — dip of ~4 minutes per host, then a further
+  (m-δ)p period of cache-miss degradation (δ ≈ 0.69 in §5.5);
+* **live migration** with a spare — no dip at all, but the spare's
+  capacity is reserved permanently (steady state (m-1)p of an (m+1)-host
+  fleet) and each host's maintenance takes tens of minutes of migration.
+
+The runner measures per-host and total request-rate series and extracts
+those three signatures.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.analysis.report import ComparisonRow, render_table
+from repro.analysis.timeline import (
+    bucketize,
+    mean_rate,
+    sum_series,
+    zero_intervals,
+)
+from repro.cluster import Cluster, MigrationRejuvenator, RollingRejuvenator
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentResult
+from repro.simkernel import Simulator
+from repro.units import kib
+from repro.workloads.httperf import Httperf
+
+_FILES_PER_HOST = 30
+_FILE_BYTES = 2 * 1024 * kib(1)
+_BUCKET_S = 5.0
+
+
+def _cluster_run(
+    scheme: str, size: int = 3, settle_s: float = 30.0
+) -> dict[str, typing.Any]:
+    """Run one maintenance scheme over a fresh cluster; return series."""
+    sim = Simulator()
+    cluster = Cluster(
+        sim,
+        size=size,
+        vms_per_host=1,
+        services=("apache",),
+        spare=(scheme == "migration"),
+    )
+    sim.run(sim.spawn(cluster.start()))
+
+    clients: list[Httperf] = []
+    for host in cluster.hosts:
+        vm_name = f"{host.name}-vm0"
+        guest = host.guest(vm_name)
+        paths = guest.filesystem.create_many(
+            f"/www/{host.name}", _FILES_PER_HOST, _FILE_BYTES
+        )
+        sim.run(sim.spawn(guest.warm_file_cache(paths)))
+
+        def lookup(vm_name=vm_name):
+            # Resolve wherever the VM currently lives: after a cold reboot
+            # the service object is new, after a migration it is on
+            # another host (possibly the spare).
+            for service in cluster.services("apache"):
+                if service.guest is not None and service.guest.name == vm_name:
+                    return service
+            raise ReproError(f"{vm_name} has no live apache replica")
+
+        clients.append(
+            Httperf(
+                sim, lookup, paths, concurrency=2, name=f"lb-{host.name}"
+            ).start()
+        )
+
+    workload_start = sim.now
+    warmup = 40.0
+    sim.run(until=sim.now + warmup)
+    maintenance_start = sim.now
+    if scheme == "migration":
+        rejuvenator: typing.Any = MigrationRejuvenator(cluster, strategy="cold")
+    else:
+        rejuvenator = RollingRejuvenator(cluster, strategy=scheme, settle_s=settle_s)
+    sim.run(sim.spawn(rejuvenator.run()))
+    maintenance_end = sim.now
+    sim.run(until=sim.now + 120)
+    for client in clients:
+        client.stop()
+
+    # Bucket only from where the workload is in steady state, so a zero
+    # bucket really means an outage.
+    series_start = workload_start + 10.0
+    per_host = [
+        bucketize(
+            [c.time for c in client.completions],
+            _BUCKET_S,
+            start=series_start,
+            end=maintenance_end + 110,
+        )
+        for client in clients
+    ]
+    total = sum_series(per_host)
+    baseline = sum(
+        client.mean_rate(
+            since=maintenance_start - warmup * 0.75,
+            until=maintenance_start - warmup * 0.1,
+        )
+        for client in clients
+    )
+    dips = [zero_intervals(series, _BUCKET_S) for series in per_host]
+    first_reboot_window = (
+        getattr(rejuvenator, "completed", [None])
+        and (rejuvenator.completed[0].started, rejuvenator.completed[0].finished)
+    )
+    return {
+        "scheme": scheme,
+        "total": total,
+        "per_host": per_host,
+        "baseline": baseline,
+        "maintenance": (maintenance_start, maintenance_end),
+        "per_host_outages": dips,
+        "completed": getattr(rejuvenator, "completed", []),
+        "first_window": first_reboot_window,
+    }
+
+
+def run(full: bool = False) -> ExperimentResult:
+    """Run the three cluster maintenance schemes and compare timelines."""
+    result = ExperimentResult(
+        "FIG9", "cluster total throughput during rolling rejuvenation"
+    )
+    size = 3
+    runs = {scheme: _cluster_run(scheme, size=size) for scheme in
+            ("warm", "cold", "migration")}
+
+    rows = []
+    for scheme, data in runs.items():
+        outage_total = sum(
+            end - start
+            for host_outages in data["per_host_outages"]
+            for start, end in host_outages
+        )
+        duration = data["maintenance"][1] - data["maintenance"][0]
+        rows.append((scheme, data["baseline"], outage_total, duration))
+    result.tables.append(
+        render_table(
+            ["scheme", "baseline req/s", "total host-outage s", "maintenance s"],
+            rows,
+        )
+    )
+    result.data["runs"] = {
+        scheme: {k: v for k, v in data.items()} for scheme, data in runs.items()
+    }
+
+    def per_host_outage(scheme: str) -> float:
+        return sum(
+            end - start
+            for ho in runs[scheme]["per_host_outages"]
+            for start, end in ho
+        ) / size
+
+    # Total throughput during the first host's rejuvenation relative to
+    # the steady baseline: Figure 9's (m-1)p plateau.
+    warm_run = runs["warm"]
+    window = warm_run["first_window"]
+    during = mean_rate(warm_run["total"], since=window[0], until=window[1])
+    dip_fraction = during / warm_run["baseline"]
+
+    maintenance_per_host = {
+        scheme: (data["maintenance"][1] - data["maintenance"][0]) / size
+        for scheme, data in runs.items()
+    }
+    result.rows = [
+        # With 1 GiB VMs (not the paper's full 11 GiB load) the absolute
+        # outages shrink; the paper values below are its 1-VM Figure 6
+        # points, which match this cluster's per-host configuration.
+        ComparisonRow("warm: per-host outage", 42.0, per_host_outage("warm"),
+                      "s", tolerance=0.5),
+        ComparisonRow("cold: per-host outage", 125.0, per_host_outage("cold"),
+                      "s", tolerance=0.5),
+        ComparisonRow(
+            "migration: guest outage (stop-and-copy only)", 0.0,
+            per_host_outage("migration"), "s", tolerance=0.01,
+        ),
+        ComparisonRow(
+            "total throughput during warm reboot / baseline",
+            (size - 1) / size,
+            dip_fraction,
+            "x",
+            tolerance=0.15,
+        ),
+        ComparisonRow(
+            "migration maintenance much longer than warm (1=yes)",
+            1.0,
+            1.0
+            if maintenance_per_host["migration"] > 2 * maintenance_per_host["warm"]
+            else 0.0,
+            "",
+            tolerance=0.01,
+        ),
+    ]
+    return result

@@ -1,0 +1,33 @@
+"""Guest operating-system substrate.
+
+Kernel boot/shutdown/suspend/resume, the page cache, a filesystem view,
+the paper's three services (sshd, Apache, JBoss) and client TCP sessions.
+"""
+
+from repro.guest.filesystem import Filesystem
+from repro.guest.kernel import GuestKernel, GuestState
+from repro.guest.page_cache import PageCache
+from repro.guest.services import (
+    ApacheServer,
+    JBossServer,
+    Service,
+    ServiceState,
+    SshServer,
+    make_service,
+)
+from repro.guest.tcp import SessionState, TcpSession
+
+__all__ = [
+    "ApacheServer",
+    "Filesystem",
+    "GuestKernel",
+    "GuestState",
+    "JBossServer",
+    "PageCache",
+    "Service",
+    "ServiceState",
+    "SessionState",
+    "SshServer",
+    "TcpSession",
+    "make_service",
+]

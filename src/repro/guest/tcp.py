@@ -1,0 +1,109 @@
+"""Client TCP sessions with retransmission and timeouts.
+
+§5.3: after a warm or saved reboot "we could continue the session of ssh
+thanks to TCP retransmission … however, if a timeout was set to 60
+seconds in the ssh client, the session was timed out during the saved-VM
+reboot", and a cold reboot always resets the session because the server
+process died.
+
+:class:`TcpSession` reproduces that logic as a live monitor: a client-side
+keepalive probes the service; unreachability shorter than the client
+timeout is ridden out by retransmission, longer kills the session, and a
+restart of the server process (new service incarnation / killed process)
+resets it immediately on the next probe.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+from repro.errors import GuestError
+from repro.guest.services import Service
+from repro.simkernel import Simulator
+
+
+class SessionState(enum.Enum):
+    CONNECTED = "connected"
+    TIMED_OUT = "timed-out"
+    RESET = "reset"
+
+
+class TcpSession:
+    """One long-lived client connection to a guest service."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        service: Service,
+        client_timeout_s: float = 60.0,
+        probe_interval_s: float = 0.5,
+        name: str = "session",
+    ) -> None:
+        if client_timeout_s <= 0:
+            raise GuestError("client timeout must be positive")
+        if probe_interval_s <= 0:
+            raise GuestError("probe interval must be positive")
+        if not service.reachable:
+            raise GuestError(
+                f"cannot open a session to unreachable {service.name!r}"
+            )
+        self.sim = sim
+        self.service = service
+        self.client_timeout_s = client_timeout_s
+        self.probe_interval_s = probe_interval_s
+        self.name = name
+        self.state = SessionState.CONNECTED
+        self._epoch = service.start_count
+        self._unreachable_since: float | None = None
+        self.outage_total_s = 0.0
+        self._monitor = sim.spawn(self._run(), name=f"tcp:{name}")
+
+    @property
+    def alive(self) -> bool:
+        return self.state is SessionState.CONNECTED
+
+    def close(self) -> None:
+        """Client-side orderly close; stops the monitor."""
+        if self._monitor.is_alive:
+            self._monitor.kill()
+
+    def _run(self) -> typing.Generator:
+        while self.state is SessionState.CONNECTED:
+            yield self.sim.timeout(self.probe_interval_s)
+            if self.service.start_count != self._epoch:
+                # Server process restarted: our connection state is gone.
+                self._fail(SessionState.RESET)
+                return
+            if self.service.reachable:
+                if self._unreachable_since is not None:
+                    self.outage_total_s += self.sim.now - self._unreachable_since
+                    self._unreachable_since = None
+                continue
+            if (
+                self.service.guest is not None
+                and self.service.guest.state.value == "dead"
+            ):
+                self._fail(SessionState.RESET)
+                return
+            if not self.service.is_up:
+                # Process stopped (shutdown): RST on next packet.
+                self._fail(SessionState.RESET)
+                return
+            if self._unreachable_since is None:
+                self._unreachable_since = self.sim.now
+            elif self.sim.now - self._unreachable_since >= self.client_timeout_s:
+                self._fail(SessionState.TIMED_OUT)
+                return
+
+    def _fail(self, state: SessionState) -> None:
+        if self._unreachable_since is not None:
+            self.outage_total_s += self.sim.now - self._unreachable_since
+            self._unreachable_since = None
+        self.state = state
+        self.sim.trace.record(
+            "tcp.session.closed",
+            session=self.name,
+            outcome=state.value,
+            service=self.service.name,
+        )

@@ -1,0 +1,22 @@
+"""Physical-hardware substrate: machine, CPU, disk, NIC, BIOS.
+
+Service-time models for the components whose physics drive the paper's
+results: a seek-and-bandwidth disk, a fluid-shared NIC, processor-sharing
+CPUs, and a BIOS whose POST duration scales with installed memory.
+"""
+
+from repro.hardware.bios import Bios
+from repro.hardware.cpu import CpuPool
+from repro.hardware.disk import Disk, DiskStats
+from repro.hardware.machine import PhysicalMachine, PowerState
+from repro.hardware.nic import NetworkLink
+
+__all__ = [
+    "Bios",
+    "CpuPool",
+    "Disk",
+    "DiskStats",
+    "NetworkLink",
+    "PhysicalMachine",
+    "PowerState",
+]

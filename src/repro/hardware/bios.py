@@ -1,0 +1,28 @@
+"""BIOS / firmware model: the cost of a hardware reset.
+
+§2 singles out the hardware reset as a major downtime component: power-on
+self-test includes a memory check proportional to installed RAM plus SCSI
+controller initialization.  :class:`Bios` turns a machine's installed
+memory into a POST duration; §5.6's measured ``reset_hw = 47 s`` falls out
+of the calibrated :class:`~repro.config.BiosSpec` at 12 GB.
+"""
+
+from __future__ import annotations
+
+from repro.config import BiosSpec
+
+
+class Bios:
+    """Firmware of one physical machine."""
+
+    def __init__(self, spec: BiosSpec) -> None:
+        self.spec = spec
+        self.post_count = 0
+
+    def post_duration(self, installed_bytes: int) -> float:
+        """Seconds of power-on self-test for ``installed_bytes`` of RAM."""
+        return self.spec.reset_duration(installed_bytes)
+
+    def record_post(self) -> None:
+        """Count a completed POST (observability for tests/experiments)."""
+        self.post_count += 1

@@ -1,0 +1,62 @@
+"""CPU package model: processor-sharing across runnable contexts.
+
+Work is measured in *core-seconds*.  Each runnable context (a booting
+guest, a service handling a request, dom0's shutdown scripts) is a job in
+a fluid-sharing pool capped at one core — so four cores run up to four
+jobs at full speed and degrade everyone fairly beyond that.  This is the
+contention that makes shutting down / booting many guests in parallel
+slower per-guest (§2, §5.1).
+"""
+
+from __future__ import annotations
+
+from repro.config import CpuSpec
+from repro.errors import HardwareError
+from repro.simkernel import Event, SharedPool, Simulator
+
+
+class CpuPool:
+    """All cores of one machine."""
+
+    def __init__(self, sim: Simulator, spec: CpuSpec, name: str = "cpu") -> None:
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self._pool = SharedPool(
+            sim, capacity=float(spec.cores), per_job_cap=1.0, name=f"{name}.pool"
+        )
+
+    @property
+    def cores(self) -> int:
+        return self.spec.cores
+
+    @property
+    def runnable(self) -> int:
+        """Number of contexts currently consuming CPU."""
+        return self._pool.active_jobs
+
+    def execute(self, core_seconds: float, weight: float = 1.0) -> Event:
+        """Run ``core_seconds`` of single-threaded work; event fires when done."""
+        if core_seconds < 0:
+            raise HardwareError(f"negative CPU work {core_seconds}")
+        return self._pool.execute(core_seconds, weight=weight)
+
+    def execute_shared(
+        self, core_seconds: float, weight: float = 1.0, cap: float | None = None
+    ) -> Event:
+        """Weighted, optionally capped execution (credit-scheduler path)."""
+        if core_seconds < 0:
+            raise HardwareError(f"negative CPU work {core_seconds}")
+        return self._pool.execute(core_seconds, weight=weight, cap=cap)
+
+    def cancel(self, event: Event) -> None:
+        """Abort a running job (its event fails, pre-defused)."""
+        self._pool.cancel(event)
+
+    def drain(self) -> None:
+        """Fail all running jobs (machine reset)."""
+        self._pool.drain()
+
+    def busy_fraction(self) -> float:
+        """Instantaneous utilization in [0, 1]."""
+        return min(1.0, self._pool.active_jobs / self.spec.cores)

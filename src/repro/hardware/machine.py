@@ -1,0 +1,143 @@
+"""The physical machine: CPUs, RAM, disk, NIC, BIOS, power control.
+
+A :class:`PhysicalMachine` assembles the hardware components around one
+simulator and owns the two reboot-relevant facts of life:
+
+* :meth:`hardware_reset` — the cold path.  DRAM contents (and with them
+  the preserved-image store) are lost, and the BIOS POST charges its full
+  duration before software can run again.
+* :meth:`quick_reload_window` — the warm path.  No POST; DRAM, including
+  the preserved store, is untouched.  The *software* cost of the reload
+  (loading/jumping to the new VMM image) is charged by the VMM layer, not
+  here — the machine merely doesn't get in the way.
+
+The frame *allocator* is deliberately not owned by the machine: allocation
+bookkeeping is VMM software state, so each hypervisor instance builds a
+fresh :class:`~repro.memory.FrameAllocator` over ``machine.memory`` at
+boot and (on the warm path) replays preserved reservations into it.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+from repro.config import DiskSpec, TimingProfile
+from repro.errors import PowerError
+from repro.hardware.bios import Bios
+from repro.hardware.cpu import CpuPool
+from repro.hardware.disk import Disk
+from repro.hardware.nic import NetworkLink
+from repro.memory import MachineMemory, PreservedStore
+from repro.simkernel import RandomStreams, SharedPool, Simulator
+from repro.units import pages
+
+
+class PowerState(enum.Enum):
+    RUNNING = "running"
+    RESETTING = "resetting"
+    OFF = "off"
+
+
+class PhysicalMachine:
+    """One consolidated-server box (the paper's Opteron testbed by default)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: TimingProfile,
+        name: str = "server",
+        streams: RandomStreams | None = None,
+    ) -> None:
+        self.sim = sim
+        self.profile = profile
+        self.name = name
+        self.streams = streams if streams is not None else RandomStreams(0)
+        self.memory = MachineMemory(pages(profile.memory.total_bytes))
+        self.preserved = PreservedStore()
+        self.cpu = CpuPool(sim, profile.cpu, name=f"{name}.cpu")
+        self.disk = Disk(sim, profile.disk, name=f"{name}.disk")
+        self.ramdisk = Disk(
+            sim,
+            DiskSpec(
+                read_bw=profile.ramdisk.bandwidth,
+                write_bw=profile.ramdisk.bandwidth,
+                seek_s=profile.ramdisk.access_s,
+            ),
+            name=f"{name}.ramdisk",
+        )
+        """An i-RAM-like non-volatile RAM disk (§7 related work): fast,
+        seek-free, used only by the 'ramdisk' save variant."""
+        self.nic = NetworkLink(sim, profile.nic, name=f"{name}.nic")
+        self.membus = SharedPool(
+            sim,
+            capacity=profile.memory.cached_read_bw,
+            per_job_cap=None,
+            name=f"{name}.membus",
+        )
+        """Bandwidth for reads served from the file cache (no disk)."""
+        self.bios = Bios(profile.bios)
+        self.power_state = PowerState.RUNNING
+        self.reset_count = 0
+        self.disk_store: dict[str, typing.Any] = {}
+        """Data persisted *on disk* — survives every kind of reboot.  Used
+        by the saved-VM baseline for ``xm save`` images."""
+
+    # -- convenience -------------------------------------------------------------
+
+    @property
+    def installed_bytes(self) -> int:
+        return self.memory.total_bytes
+
+    def duration(self, stream_name: str, base: float) -> float:
+        """A modelled duration with this profile's jitter applied."""
+        return self.streams.jitter(stream_name, base, self.profile.jitter_fraction)
+
+    def require_running(self) -> None:
+        """Raise :class:`PowerError` unless the machine has power."""
+        if self.power_state != PowerState.RUNNING:
+            raise PowerError(
+                f"{self.name} is {self.power_state.value}, not running"
+            )
+
+    # -- power paths ----------------------------------------------------------------
+
+    def hardware_reset(self) -> typing.Generator:
+        """The cold path: POST + total DRAM loss.  Yield-from a process.
+
+        Returns the POST duration charged (for breakdown reporting).
+        """
+        self.require_running()
+        self.power_state = PowerState.RESETTING
+        self.sim.trace.record("hw.reset.start", machine=self.name)
+        # Anything still running on the hardware dies with the reset.
+        self.cpu.drain()
+        self.nic.bring_down()
+        # DRAM is not guaranteed across a reset (§3.1): contents undefined.
+        self.memory.lose_contents()
+        self.preserved.wipe()
+        post = self.duration("bios.post", self.bios.post_duration(self.installed_bytes))
+        yield self.sim.timeout(post)
+        self.bios.record_post()
+        self.reset_count += 1
+        self.nic.bring_up()
+        self.power_state = PowerState.RUNNING
+        self.sim.trace.record("hw.reset.done", machine=self.name, post_s=post)
+        return post
+
+    def quick_reload_window(self) -> typing.Generator:
+        """The warm path: no POST, DRAM (and preserved store) untouched.
+
+        The brief window where no VMM runs; the NIC flaps but memory does
+        not.  Software costs of the reload are charged by the VMM layer.
+        """
+        self.require_running()
+        self.sim.trace.record("hw.quick_reload", machine=self.name)
+        self.nic.bring_down()
+        # Control transfer is effectively instantaneous at this layer.
+        yield self.sim.timeout(0)
+        self.nic.bring_up()
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<PhysicalMachine {self.name} {self.power_state.value}>"

@@ -1,0 +1,27 @@
+"""Machine-memory substrate: frames, allocator, P2M tables, heap, balloon.
+
+This package models Xen's memory management at the granularity the
+warm-VM-reboot mechanisms operate on: frame *extents*, per-domain
+P2M-mapping tables, the 16 MB VMM heap, and the reboot-surviving
+preserved-image store.
+"""
+
+from repro.memory.allocator import FrameAllocator
+from repro.memory.ballooning import Balloon
+from repro.memory.frames import Extent, MachineMemory
+from repro.memory.heap import HeapAllocation, VmmHeap
+from repro.memory.p2m import P2MTable, table_bytes_for
+from repro.memory.preserved import PreservedStore, SuspendImage
+
+__all__ = [
+    "Balloon",
+    "Extent",
+    "FrameAllocator",
+    "HeapAllocation",
+    "MachineMemory",
+    "P2MTable",
+    "PreservedStore",
+    "SuspendImage",
+    "VmmHeap",
+    "table_bytes_for",
+]

@@ -1,0 +1,90 @@
+"""Balloon driver model (Waldspurger-style memory overcommit).
+
+§4.1 notes the P2M table stays correct even when total pseudo-physical
+memory exceeds machine memory thanks to ballooning: a ballooned-out PFN
+simply has no MFN behind it.  :class:`Balloon` inflates (returns machine
+frames to the VMM) and deflates (reclaims frames) while keeping the
+domain's P2M table consistent — which the property tests verify across
+arbitrary inflate/deflate sequences and across warm reboots.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemoryError_, OutOfMemoryError
+from repro.memory.allocator import FrameAllocator
+from repro.memory.p2m import P2MTable
+
+
+class Balloon:
+    """Per-domain balloon driver.
+
+    The balloon occupies the *tail* of the pseudo-physical address space:
+    inflating unmaps the highest mapped PFNs, deflating remaps them.  Real
+    balloons pick arbitrary victim pages; using the tail keeps the model
+    simple without changing any accounting the experiments rely on.
+    """
+
+    def __init__(
+        self, allocator: FrameAllocator, p2m: P2MTable, owner: str
+    ) -> None:
+        self.allocator = allocator
+        self.p2m = p2m
+        self.owner = owner
+
+    @property
+    def ballooned_pages(self) -> int:
+        """Pages currently surrendered back to the VMM."""
+        return self.p2m.pseudo_physical_pages - self.p2m.mapped_pages
+
+    def _mapped_tail(self) -> int:
+        """Highest mapped PFN + 1 (== mapped count, tail discipline)."""
+        return self.p2m.mapped_pages
+
+    def inflate(self, npages: int) -> int:
+        """Surrender ``npages`` machine pages to the VMM; returns pages freed."""
+        if npages < 0:
+            raise MemoryError_(f"cannot inflate by {npages}")
+        npages = min(npages, self._mapped_tail())
+        if npages == 0:
+            return 0
+        tail = self._mapped_tail()
+        extents = self.p2m.unmap_range(tail - npages, npages)
+        for extent in extents:
+            self.allocator.free(extent, self.owner, scrub=True)
+        return npages
+
+    def deflate(self, npages: int) -> int:
+        """Reclaim up to ``npages`` machine pages; returns pages regained.
+
+        Grants what the allocator can supply — a partially satisfied
+        deflate is normal under memory pressure, not an error.
+        """
+        if npages < 0:
+            raise MemoryError_(f"cannot deflate by {npages}")
+        npages = min(npages, self.ballooned_pages)
+        regained = 0
+        while regained < npages:
+            want = min(npages - regained, self.allocator.free_pages)
+            if want == 0:
+                break
+            try:
+                extents = self.allocator.allocate_scattered(want, self.owner)
+            except OutOfMemoryError:  # pragma: no cover - raced by nothing here
+                break
+            for extent in extents:
+                self.p2m.map_extent(self._mapped_tail(), extent)
+                regained += extent.npages
+        return regained
+
+    def set_target(self, target_mapped_pages: int) -> int:
+        """Inflate/deflate toward ``target_mapped_pages``; returns the new
+        mapped page count."""
+        if target_mapped_pages < 0:
+            raise MemoryError_(f"negative target {target_mapped_pages}")
+        target = min(target_mapped_pages, self.p2m.pseudo_physical_pages)
+        current = self.p2m.mapped_pages
+        if target < current:
+            self.inflate(current - target)
+        elif target > current:
+            self.deflate(target - current)
+        return self.p2m.mapped_pages

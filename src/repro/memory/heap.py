@@ -1,0 +1,111 @@
+"""The VMM heap — small, fixed, and the paper's motivating aging victim.
+
+Xen's hypervisor heap is only 16 MB regardless of machine memory (§2);
+leaks such as changesets 9392/11752 (heap lost on every VM reboot or on
+error paths) slowly exhaust it, eventually degrading or crashing the VMM.
+:class:`VmmHeap` tracks live allocations *and* leaked bytes separately so
+aging experiments can drive the heap toward exhaustion and rejuvenation
+can demonstrably reset it.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import OutOfMemoryError, MemoryError_
+
+
+class HeapAllocation:
+    """Handle for one live heap allocation."""
+
+    __slots__ = ("allocation_id", "nbytes", "tag")
+
+    def __init__(self, allocation_id: int, nbytes: int, tag: str) -> None:
+        self.allocation_id = allocation_id
+        self.nbytes = nbytes
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HeapAllocation({self.tag}, {self.nbytes}B)"
+
+
+class VmmHeap:
+    """A bounded heap with explicit leak accounting."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise MemoryError_(f"heap capacity must be > 0, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._live: dict[int, HeapAllocation] = {}
+        self._leaked_bytes = 0
+        self._ids = itertools.count(1)
+        self.high_watermark = 0
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(a.nbytes for a in self._live.values())
+
+    @property
+    def leaked_bytes(self) -> int:
+        return self._leaked_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        return self.live_bytes + self._leaked_bytes
+
+    @property
+    def available_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the heap consumed (live + leaked)."""
+        return self.used_bytes / self.capacity_bytes
+
+    def allocate(self, nbytes: int, tag: str = "anon") -> HeapAllocation:
+        """Allocate, or raise :class:`OutOfMemoryError` if exhausted."""
+        if nbytes <= 0:
+            raise MemoryError_(f"allocation must be > 0 bytes, got {nbytes}")
+        if nbytes > self.available_bytes:
+            raise OutOfMemoryError(
+                f"VMM heap exhausted: want {nbytes} B, "
+                f"{self.available_bytes} B available "
+                f"({self._leaked_bytes} B leaked)"
+            )
+        allocation = HeapAllocation(next(self._ids), nbytes, tag)
+        self._live[allocation.allocation_id] = allocation
+        self.high_watermark = max(self.high_watermark, self.used_bytes)
+        return allocation
+
+    def release(self, allocation: HeapAllocation) -> None:
+        """Free a live allocation (double free raises)."""
+        if allocation.allocation_id not in self._live:
+            raise MemoryError_(f"double free of {allocation!r}")
+        del self._live[allocation.allocation_id]
+
+    def leak(self, allocation: HeapAllocation) -> None:
+        """Turn a live allocation into a leak: the bytes stay consumed but
+        can never be released — the aging mechanism of §2's Xen bugs."""
+        if allocation.allocation_id not in self._live:
+            raise MemoryError_(f"cannot leak non-live {allocation!r}")
+        del self._live[allocation.allocation_id]
+        self._leaked_bytes += allocation.nbytes
+
+    def leak_bytes(self, nbytes: int) -> None:
+        """Directly consume heap bytes as a leak (fault injection).
+
+        Unlike :meth:`allocate`, leaking past capacity is *clamped*: real
+        leaks stop mattering once the heap is gone, and the interesting
+        event (exhaustion) is observed by the next allocate call.
+        """
+        if nbytes < 0:
+            raise MemoryError_(f"cannot leak negative bytes {nbytes}")
+        self._leaked_bytes = min(
+            self._leaked_bytes + nbytes, self.capacity_bytes - self.live_bytes
+        )
+        self.high_watermark = max(self.high_watermark, self.used_bytes)
+
+    def reset(self) -> None:
+        """What a VMM reboot does: a brand-new heap, leaks gone."""
+        self._live.clear()
+        self._leaked_bytes = 0

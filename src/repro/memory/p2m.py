@@ -1,0 +1,144 @@
+"""P2M mapping tables: pseudo-physical to machine frame translation.
+
+Per §4.1, the VMM keeps a *P2M-mapping table* per domain recording, for
+every pseudo-physical frame number (PFN), which machine frame (MFN) backs
+it.  The table is what lets a rebooted VMM re-adopt a suspended domain's
+memory: entries are preserved across the quick reload and replayed into
+the frame allocator before anything else can allocate.
+
+Implemented as a numpy ``int64`` array, which makes the footprint exactly
+8 bytes per 4 KiB page = **2 MiB per GiB** of pseudo-physical memory — the
+figure the paper quotes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import P2MError
+from repro.memory.frames import Extent
+from repro.units import PAGE_SIZE
+
+UNMAPPED = np.int64(-1)
+
+
+class P2MTable:
+    """One domain's PFN → MFN mapping."""
+
+    def __init__(self, domain_name: str, pseudo_physical_pages: int) -> None:
+        if pseudo_physical_pages <= 0:
+            raise P2MError(
+                f"domain {domain_name!r} needs > 0 pages, "
+                f"got {pseudo_physical_pages}"
+            )
+        self.domain_name = domain_name
+        self._table = np.full(pseudo_physical_pages, UNMAPPED, dtype=np.int64)
+
+    # -- sizing -----------------------------------------------------------------
+
+    @property
+    def pseudo_physical_pages(self) -> int:
+        return int(self._table.size)
+
+    @property
+    def table_bytes(self) -> int:
+        """Footprint of the table itself (8 B per PFN: 2 MiB per GiB)."""
+        return int(self._table.nbytes)
+
+    @property
+    def mapped_pages(self) -> int:
+        return int(np.count_nonzero(self._table != UNMAPPED))
+
+    # -- mapping -----------------------------------------------------------------
+
+    def map_extent(self, pfn_start: int, extent: Extent) -> None:
+        """Map ``extent.npages`` consecutive PFNs starting at ``pfn_start``."""
+        pfn_end = pfn_start + extent.npages
+        if pfn_start < 0 or pfn_end > self._table.size:
+            raise P2MError(
+                f"PFN range [{pfn_start}, {pfn_end}) outside domain "
+                f"{self.domain_name!r} (size {self._table.size})"
+            )
+        window = self._table[pfn_start:pfn_end]
+        if np.any(window != UNMAPPED):
+            raise P2MError(
+                f"PFN range [{pfn_start}, {pfn_end}) already mapped in "
+                f"{self.domain_name!r}"
+            )
+        window[:] = np.arange(extent.start, extent.end, dtype=np.int64)
+
+    def unmap_range(self, pfn_start: int, npages: int) -> list[Extent]:
+        """Unmap a PFN range, returning the machine extents released."""
+        pfn_end = pfn_start + npages
+        if pfn_start < 0 or pfn_end > self._table.size:
+            raise P2MError(f"PFN range [{pfn_start}, {pfn_end}) out of range")
+        window = self._table[pfn_start:pfn_end]
+        if np.any(window == UNMAPPED):
+            raise P2MError(
+                f"PFN range [{pfn_start}, {pfn_end}) not fully mapped"
+            )
+        extents = _runs_to_extents(np.asarray(window))
+        window[:] = UNMAPPED
+        return extents
+
+    def mfn_of(self, pfn: int) -> int:
+        """Translate one PFN; raises if unmapped."""
+        if not 0 <= pfn < self._table.size:
+            raise P2MError(f"PFN {pfn} out of range")
+        mfn = int(self._table[pfn])
+        if mfn < 0:
+            raise P2MError(f"PFN {pfn} unmapped in {self.domain_name!r}")
+        return mfn
+
+    def is_mapped(self, pfn: int) -> bool:
+        """True if ``pfn`` is in range and currently backed by an MFN."""
+        return 0 <= pfn < self._table.size and int(self._table[pfn]) >= 0
+
+    def machine_extents(self) -> list[Extent]:
+        """All machine extents backing this domain, coalesced and sorted.
+
+        This is what quick reload replays into the allocator after reboot.
+        """
+        mapped = np.sort(self._table[self._table != UNMAPPED])
+        return _runs_to_extents(mapped, presorted=True)
+
+    def machine_pages(self) -> int:
+        """Total machine pages currently backing this domain."""
+        return self.mapped_pages
+
+    def check_bijective(self) -> None:
+        """Every mapped PFN must name a distinct MFN (no aliasing)."""
+        mapped = self._table[self._table != UNMAPPED]
+        if mapped.size != np.unique(mapped).size:
+            raise P2MError(f"aliased MFNs in {self.domain_name!r}")
+
+    def snapshot(self) -> np.ndarray:
+        """An immutable copy of the raw table (for save/restore paths)."""
+        copy = self._table.copy()
+        copy.setflags(write=False)
+        return copy
+
+    @classmethod
+    def from_snapshot(cls, domain_name: str, snapshot: np.ndarray) -> "P2MTable":
+        table = cls(domain_name, int(snapshot.size))
+        table._table = snapshot.copy()
+        return table
+
+
+def _runs_to_extents(mfns: np.ndarray, presorted: bool = False) -> list[Extent]:
+    """Coalesce an array of MFNs into maximal contiguous extents."""
+    if mfns.size == 0:
+        return []
+    ordered = mfns if presorted else np.sort(mfns)
+    breaks = np.where(np.diff(ordered) != 1)[0]
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [ordered.size - 1]))
+    return [
+        Extent(int(ordered[s]), int(ordered[e] - ordered[s] + 1))
+        for s, e in zip(starts, ends)
+    ]
+
+
+def table_bytes_for(memory_bytes: int) -> int:
+    """P2M footprint for a domain of ``memory_bytes`` pseudo-physical RAM."""
+    return (memory_bytes // PAGE_SIZE) * 8

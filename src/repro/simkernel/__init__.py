@@ -1,0 +1,41 @@
+"""A deterministic discrete-event simulation kernel.
+
+This subpackage is self-contained (no dependencies on the rest of
+``repro`` beyond the error types) and provides:
+
+* :class:`~repro.simkernel.kernel.Simulator` — clock, event heap, run loop;
+* :class:`~repro.simkernel.events.Event`, timeouts, all-of/any-of conditions;
+* :class:`~repro.simkernel.process.Process` — generator-based activities
+  with interrupts;
+* :class:`~repro.simkernel.resources.Resource` / ``Store`` — queued
+  contention points;
+* :class:`~repro.simkernel.sharing.SharedPool` — fluid processor sharing;
+* :class:`~repro.simkernel.tracing.Tracer` — typed trace records;
+* :class:`~repro.simkernel.rng.RandomStreams` — named seeded RNG streams.
+"""
+
+from repro.simkernel.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.simkernel.kernel import Simulator, TimerHandle
+from repro.simkernel.process import Process
+from repro.simkernel.resources import Request, Resource, Store
+from repro.simkernel.rng import RandomStreams
+from repro.simkernel.sharing import SharedPool
+from repro.simkernel.tracing import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "RandomStreams",
+    "Request",
+    "Resource",
+    "SharedPool",
+    "Simulator",
+    "Store",
+    "TimerHandle",
+    "TraceRecord",
+    "Tracer",
+    "Timeout",
+]

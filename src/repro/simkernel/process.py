@@ -1,0 +1,169 @@
+"""Generator-based simulated processes.
+
+A *process* is a Python generator that yields :class:`~repro.simkernel.events.Event`
+objects; the kernel resumes the generator with the event's value when it
+fires (or throws the event's exception into it).  A :class:`Process` is
+itself an event: it succeeds with the generator's return value, so processes
+can wait for each other simply by yielding them.
+
+Interrupts follow simpy semantics: :meth:`Process.interrupt` causes an
+:class:`~repro.simkernel.events.Interrupt` to be thrown into the generator at
+the current simulation time, detaching it from whatever event it was
+waiting on (that event stays valid and may be re-yielded later).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import ProcessKilled, SimulationError
+from repro.simkernel.events import Event, Interrupt, PENDING, PRIORITY_URGENT
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.kernel import Simulator
+
+ProcessGenerator = typing.Generator[Event, typing.Any, typing.Any]
+
+
+class Process(Event):
+    """A running simulated activity wrapping a generator.
+
+    Do not instantiate directly; use :meth:`Simulator.spawn`.
+    """
+
+    __slots__ = ("generator", "_target", "_interrupts")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: ProcessGenerator,
+        name: str | None = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"spawn() needs a generator, got {type(generator).__name__}; "
+                "did you forget a yield in the process function?"
+            )
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._target: Event | None = None
+        self._interrupts: list[Interrupt] = []
+        # Kick off the generator at the current time, urgently so that a
+        # freshly spawned process starts before ordinary events at this
+        # instant are processed.
+        start = Event(sim, name=f"start:{self.name}")
+        start._ok = True
+        start._state = "triggered"
+        start.callbacks.append(self._resume)
+        sim._enqueue(start, PRIORITY_URGENT)
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == PENDING
+
+    @property
+    def target(self) -> Event | None:
+        """The event this process is currently waiting on, if any."""
+        return self._target
+
+    def interrupt(self, cause: typing.Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error; interrupting a process that
+        has not yet started is allowed (the interrupt is delivered at its
+        first resumption point).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        if self.sim.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt = Interrupt(cause)
+        self._interrupts.append(interrupt)
+        if self._target is not None:
+            # Detach from the waited-on event; it stays valid.
+            self._target.remove_callback(self._resume)
+            self._target = None
+            carrier = Event(self.sim, name=f"interrupt:{self.name}")
+            carrier._ok = False
+            carrier._value = interrupt
+            carrier._state = "triggered"
+            carrier._defused = True
+            carrier.callbacks.append(self._resume)
+            self.sim._enqueue(carrier, PRIORITY_URGENT)
+        # If _target is None the process is mid-resume or about to start; the
+        # queued interrupt is delivered by _resume before the next wait.
+
+    def kill(self) -> None:
+        """Terminate the process immediately with :class:`ProcessKilled`.
+
+        The process event *fails*, but pre-defused: a kill is an intentional
+        act by the caller, not an unobserved error.
+        """
+        if not self.is_alive:
+            return
+        if self._target is not None:
+            self._target.remove_callback(self._resume)
+            self._target = None
+        self.generator.close()
+        self.defuse()
+        self.fail(ProcessKilled(self.name))
+
+    # -- kernel internals ----------------------------------------------------
+
+    def _resume(self, trigger: Event) -> None:
+        """Advance the generator with the outcome of ``trigger``."""
+        self.sim._active_process = self
+        self._target = None
+        event: Event | None = trigger
+        while True:
+            assert event is not None
+            try:
+                if self._interrupts:
+                    interrupt = self._interrupts.pop(0)
+                    next_event = self.generator.throw(interrupt)
+                elif event.ok:
+                    next_event = self.generator.send(event.value)
+                else:
+                    event.defuse()
+                    next_event = self.generator.throw(event.value)
+            except StopIteration as stop:
+                self.sim._active_process = None
+                if self.is_alive:  # not already killed
+                    self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.sim._active_process = None
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                if self.is_alive:
+                    self.fail(exc)
+                return
+
+            if not isinstance(next_event, Event):
+                self.sim._active_process = None
+                error = SimulationError(
+                    f"process {self.name!r} yielded {next_event!r}, not an Event"
+                )
+                self.fail(error)
+                return
+            if next_event.sim is not self.sim:
+                self.sim._active_process = None
+                self.fail(SimulationError("yielded event belongs to another simulator"))
+                return
+
+            if self._interrupts:
+                # A queued interrupt beats waiting: loop and deliver it now,
+                # leaving next_event un-waited (the process may re-yield it).
+                event = next_event
+                continue
+            if next_event.processed:
+                # Already done: consume its outcome synchronously.
+                event = next_event
+                continue
+            self._target = next_event
+            next_event.add_callback(self._resume)
+            self.sim._active_process = None
+            return

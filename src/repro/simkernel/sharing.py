@@ -1,0 +1,235 @@
+"""Fluid-flow processor-sharing pools.
+
+A :class:`SharedPool` models a resource whose total capacity is divided
+*simultaneously* among all active jobs — the right model for CPU cores
+executing many runnable vCPUs, or a bus shared by several DMA streams.
+Unlike :class:`~repro.simkernel.resources.Resource`, jobs do not queue: all
+active jobs progress at once, each at::
+
+    rate = min(per_job_cap, total_capacity / active_jobs)
+
+which for CPU means "a single-threaded boot cannot use more than one core,
+and with more runnable contexts than cores everyone slows down equally" —
+exactly the contention behaviour that makes parallel guest boot time grow
+with the number of VMs in the paper's Figure 5.
+
+The implementation keeps per-job *remaining work* and, whenever membership
+changes, advances everyone's progress and reschedules the single pending
+completion timer.  This is exact for piecewise-constant rates (no numerical
+integration error beyond float arithmetic).
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+
+from repro.errors import SimulationError
+from repro.simkernel.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.kernel import Simulator, TimerHandle
+
+_EPSILON = 1e-9
+
+
+class _Job:
+    __slots__ = ("job_id", "remaining", "event", "weight", "cap")
+
+    def __init__(
+        self,
+        job_id: int,
+        work: float,
+        event: Event,
+        weight: float,
+        cap: float | None,
+    ) -> None:
+        self.job_id = job_id
+        self.remaining = work
+        self.event = event
+        self.weight = weight
+        self.cap = cap
+
+
+class SharedPool:
+    """Capacity shared fluidly among active jobs, with a per-job cap.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Total work units per second the pool can deliver (e.g. number of
+        CPU cores when work is measured in core-seconds, or bytes/second
+        when work is bytes).
+    per_job_cap:
+        Maximum rate a single job can consume (e.g. ``1.0`` core for a
+        single-threaded job).  ``None`` means a job may use the whole pool.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: float,
+        per_job_cap: float | None = 1.0,
+        name: str = "pool",
+    ) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        if per_job_cap is not None and per_job_cap <= 0:
+            raise SimulationError(f"per_job_cap must be positive, got {per_job_cap}")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.per_job_cap = per_job_cap
+        self.name = name
+        self._jobs: dict[int, _Job] = {}
+        self._ids = itertools.count(1)
+        self._last_update = sim.now
+        self._timer: "TimerHandle | None" = None
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def active_jobs(self) -> int:
+        """Number of jobs currently consuming capacity."""
+        return len(self._jobs)
+
+    def current_rate(self) -> float:
+        """Per-job progress rate right now (0 if idle)."""
+        return self._rate(len(self._jobs)) if self._jobs else 0.0
+
+    def execute(
+        self, work: float, weight: float = 1.0, cap: float | None = None
+    ) -> Event:
+        """Submit ``work`` units; the returned event fires on completion.
+
+        ``weight`` scales this job's share relative to others (default
+        equal shares); ``cap`` further limits this job's rate (e.g. a
+        scheduler cap of half a core), on top of the pool's global
+        ``per_job_cap``.  Zero work completes immediately (at this
+        instant, via the normal event queue, preserving determinism).
+        """
+        if work < 0:
+            raise SimulationError(f"negative work {work!r}")
+        if weight <= 0:
+            raise SimulationError(f"weight must be positive, got {weight}")
+        if cap is not None and cap <= 0:
+            raise SimulationError(f"cap must be positive, got {cap}")
+        event = Event(self.sim, name=f"work:{self.name}")
+        if work == 0:
+            event.succeed()
+            return event
+        self._advance()
+        job = _Job(next(self._ids), float(work), event, float(weight), cap)
+        self._jobs[job.job_id] = job
+        self._reschedule()
+        return event
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change total capacity mid-flight (e.g. a NIC degrading).
+
+        Progress so far is charged at the old rate; active jobs continue at
+        the new one.
+        """
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self._advance()
+        self.capacity = float(capacity)
+        self._reschedule()
+
+    def cancel(self, event: Event) -> None:
+        """Abort the job whose completion event is ``event`` (if active).
+
+        The event is failed with :class:`SimulationError`; callers that
+        cancel deliberately should be waiting with try/except or not at all.
+        """
+        for job_id, job in list(self._jobs.items()):
+            if job.event is event:
+                self._advance()
+                del self._jobs[job_id]
+                error = SimulationError(f"job cancelled on {self.name}")
+                job.event.defuse()
+                job.event.fail(error)
+                self._reschedule()
+                return
+
+    def drain(self) -> None:
+        """Cancel every active job (used when a machine loses power)."""
+        self._advance()
+        jobs, self._jobs = list(self._jobs.values()), {}
+        for job in jobs:
+            job.event.defuse()
+            job.event.fail(SimulationError(f"{self.name} drained"))
+        self._reschedule()
+
+    # -- fluid-model internals -------------------------------------------------
+
+    def _rate(self, n: int, weight: float = 1.0, total_weight: float | None = None) -> float:
+        """Progress rate for one uncapped job of ``weight`` among ``n``."""
+        if n == 0:
+            return 0.0
+        if total_weight is None:
+            total_weight = sum(job.weight for job in self._jobs.values()) or weight
+        share = self.capacity * (weight / total_weight)
+        if self.per_job_cap is not None:
+            share = min(share, self.per_job_cap)
+        return share
+
+    def _job_rate(self, job: _Job, total_weight: float) -> float:
+        """Progress rate of one specific job (weight share, both caps)."""
+        share = self.capacity * (job.weight / total_weight)
+        if self.per_job_cap is not None:
+            share = min(share, self.per_job_cap)
+        if job.cap is not None:
+            share = min(share, job.cap)
+        return share
+
+    def _advance(self) -> None:
+        """Charge elapsed wall time against every active job's work."""
+        now = self.sim.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0 or not self._jobs:
+            return
+        total_weight = sum(job.weight for job in self._jobs.values())
+        for job in self._jobs.values():
+            job.remaining -= self._job_rate(job, total_weight) * dt
+
+    def _reschedule(self) -> None:
+        """Re-plan the single next-completion timer after any change.
+
+        Guards against float underflow: when a job's residual work is so
+        small that ``now + remaining/rate == now`` (common once work is
+        measured in bytes and rates in hundreds of MB/s), the job is
+        numerically complete and finishing it *now* is the only way the
+        clock can make progress.
+        """
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        while True:
+            finished = [
+                job for job in self._jobs.values() if job.remaining <= _EPSILON
+            ]
+            for job in finished:
+                del self._jobs[job.job_id]
+            for job in finished:
+                job.event.succeed()
+            if not self._jobs:
+                return
+            total_weight = sum(job.weight for job in self._jobs.values())
+            nearest = min(
+                self._jobs.values(),
+                key=lambda job: job.remaining / self._job_rate(job, total_weight),
+            )
+            next_dt = nearest.remaining / self._job_rate(nearest, total_weight)
+            if self.sim.now + next_dt > self.sim.now:
+                self._timer = self.sim.call_in(next_dt, self._on_timer)
+                return
+            # No representable time advance is possible: finish it now.
+            nearest.remaining = 0.0
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        self._advance()
+        self._reschedule()

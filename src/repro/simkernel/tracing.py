@@ -1,0 +1,128 @@
+"""Trace instrumentation for simulations.
+
+Experiments need to observe *when* things happened — when a service went
+down, when the VMM finished reloading, how throughput evolved.  Rather than
+sprinkling ad-hoc lists everywhere, every simulator carries a
+:class:`Tracer`; components record typed :class:`TraceRecord` entries and
+analyses query them afterwards.
+
+Records are cheap (a dataclass with a dict payload) and strictly ordered by
+(time, sequence), matching the deterministic event order of the kernel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.kernel import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One recorded occurrence.
+
+    Attributes
+    ----------
+    time:
+        Simulated time of the record.
+    kind:
+        Dotted event-kind string, e.g. ``"vmm.reboot.start"``,
+        ``"service.up"`` — dots give a cheap namespace for prefix queries.
+    fields:
+        Arbitrary payload (domain id, service name, byte counts, ...).
+    """
+
+    time: float
+    sequence: int
+    kind: str
+    fields: dict[str, typing.Any]
+
+    def __getitem__(self, key: str) -> typing.Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: typing.Any = None) -> typing.Any:
+        """Field lookup with a default (dict.get semantics)."""
+        return self.fields.get(key, default)
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries for one simulation."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._records: list[TraceRecord] = []
+        self._sequence = 0
+        self._subscribers: dict[str, list[typing.Callable[[TraceRecord], None]]] = {}
+
+    def record(self, kind: str, **fields: typing.Any) -> TraceRecord:
+        """Append a record stamped with the current simulated time."""
+        self._sequence += 1
+        rec = TraceRecord(self._sim.now, self._sequence, kind, fields)
+        self._records.append(rec)
+        for prefix, callbacks in self._subscribers.items():
+            if kind.startswith(prefix):
+                for callback in callbacks:
+                    callback(rec)
+        return rec
+
+    def subscribe(
+        self, prefix: str, callback: typing.Callable[[TraceRecord], None]
+    ) -> None:
+        """Invoke ``callback`` for every future record whose kind starts
+        with ``prefix`` (live monitoring, e.g. the downtime prober)."""
+        self._subscribers.setdefault(prefix, []).append(callback)
+
+    # -- querying -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> typing.Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def select(
+        self,
+        prefix: str = "",
+        since: float = float("-inf"),
+        until: float = float("inf"),
+        **field_filters: typing.Any,
+    ) -> list[TraceRecord]:
+        """Return records matching a kind prefix, time window and fields.
+
+        ``field_filters`` keep only records where each named field equals
+        the given value (missing fields never match).
+        """
+        out = []
+        for rec in self._records:
+            if not rec.kind.startswith(prefix):
+                continue
+            if not (since <= rec.time <= until):
+                continue
+            sentinel = object()
+            if any(
+                rec.fields.get(key, sentinel) != value
+                for key, value in field_filters.items()
+            ):
+                continue
+            out.append(rec)
+        return out
+
+    def first(self, prefix: str, **field_filters: typing.Any) -> TraceRecord | None:
+        """The earliest matching record, or None."""
+        matches = self.select(prefix, **field_filters)
+        return matches[0] if matches else None
+
+    def last(self, prefix: str, **field_filters: typing.Any) -> TraceRecord | None:
+        """The latest matching record, or None."""
+        matches = self.select(prefix, **field_filters)
+        return matches[-1] if matches else None
+
+    def times(self, prefix: str, **field_filters: typing.Any) -> list[float]:
+        """Times of all matching records."""
+        return [rec.time for rec in self.select(prefix, **field_filters)]
+
+    def clear(self) -> None:
+        """Drop all records (subscribers stay)."""
+        self._records.clear()

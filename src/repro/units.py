@@ -1,0 +1,87 @@
+"""Unit helpers used throughout the package.
+
+All simulation time is measured in **seconds** (floats) and all memory and
+I/O sizes in **bytes** (ints).  These helpers exist so that configuration
+code reads like the paper ("1 GB per VM", "512 KB files") instead of long
+integer literals, and so that conversions are done in exactly one place.
+
+The binary prefixes (KiB = 1024 bytes) are used, matching how Xen and the
+paper count memory ("12 GB of memory", "2 MB table per 1 GB").
+"""
+
+from __future__ import annotations
+
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+PAGE_SIZE: int = 4 * KiB
+"""Size of one machine page frame (x86 4 KiB pages, as in Xen)."""
+
+SECOND: float = 1.0
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+DAY: float = 24 * HOUR
+WEEK: float = 7 * DAY
+
+
+def kib(n: float) -> int:
+    """Return ``n`` kibibytes as a byte count."""
+    return int(n * KiB)
+
+
+def mib(n: float) -> int:
+    """Return ``n`` mebibytes as a byte count."""
+    return int(n * MiB)
+
+
+def gib(n: float) -> int:
+    """Return ``n`` gibibytes as a byte count."""
+    return int(n * GiB)
+
+
+def bytes_to_mib(n: int) -> float:
+    """Return a byte count as mebibytes."""
+    return n / MiB
+
+
+def bytes_to_gib(n: int) -> float:
+    """Return a byte count as gibibytes."""
+    return n / GiB
+
+
+def pages(nbytes: int) -> int:
+    """Return the number of whole pages needed to hold ``nbytes``.
+
+    Rounds up, as an allocator must.
+    """
+    return -(-nbytes // PAGE_SIZE)
+
+
+def page_bytes(npages: int) -> int:
+    """Return the byte size of ``npages`` machine pages."""
+    return npages * PAGE_SIZE
+
+
+def fmt_bytes(n: int) -> str:
+    """Format a byte count for human-readable reports (e.g. ``"1.5 GiB"``)."""
+    if n >= GiB:
+        return f"{n / GiB:.3g} GiB"
+    if n >= MiB:
+        return f"{n / MiB:.3g} MiB"
+    if n >= KiB:
+        return f"{n / KiB:.3g} KiB"
+    return f"{n} B"
+
+
+def fmt_duration(seconds: float) -> str:
+    """Format a duration for reports (e.g. ``"2m 05s"``)."""
+    if seconds < 0:
+        return "-" + fmt_duration(-seconds)
+    if seconds < 60:
+        return f"{seconds:.3g}s"
+    minutes, secs = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{int(minutes)}m {secs:04.1f}s"
+    hours, minutes = divmod(int(minutes), 60)
+    return f"{hours}h {minutes:02d}m {secs:04.1f}s"

@@ -1,0 +1,87 @@
+"""Virtual devices: block (vbd) and network (vif) frontends.
+
+Devices matter to the rejuvenation mechanisms because the guest suspend
+handler must *detach* them all before the suspend hypercall and the resume
+handler must re-attach them (§4.2).  The model tracks attach state and
+refuses I/O through a detached device, which catches ordering bugs in the
+suspend/resume orchestration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import DomainError
+
+
+@dataclasses.dataclass
+class VirtualDevice:
+    """One frontend/backend device pair of a domain."""
+
+    kind: str
+    """``"vbd"`` (block) or ``"vif"`` (network)."""
+
+    index: int
+    attached: bool = True
+
+    @property
+    def device_id(self) -> str:
+        return f"{self.kind}{self.index}"
+
+    def require_attached(self) -> None:
+        """Raise :class:`DomainError` if I/O would hit a detached device."""
+        if not self.attached:
+            raise DomainError(f"I/O on detached device {self.device_id}")
+
+
+class DeviceSet:
+    """All virtual devices of one domain."""
+
+    def __init__(self) -> None:
+        self._devices: dict[str, VirtualDevice] = {}
+
+    def add(self, kind: str) -> VirtualDevice:
+        """Provision a new device of ``kind`` ('vbd' or 'vif')."""
+        if kind not in ("vbd", "vif"):
+            raise DomainError(f"unknown device kind {kind!r}")
+        index = sum(1 for d in self._devices.values() if d.kind == kind)
+        device = VirtualDevice(kind, index)
+        self._devices[device.device_id] = device
+        return device
+
+    def get(self, device_id: str) -> VirtualDevice:
+        """Look a device up by id (e.g. 'vbd0'); raises if absent."""
+        try:
+            return self._devices[device_id]
+        except KeyError:
+            raise DomainError(f"no device {device_id!r}") from None
+
+    def all(self) -> list[VirtualDevice]:
+        """Every device of this domain."""
+        return list(self._devices.values())
+
+    @property
+    def attached_count(self) -> int:
+        return sum(1 for d in self._devices.values() if d.attached)
+
+    def detach_all(self) -> int:
+        """Suspend-handler step: detach everything; returns count."""
+        count = 0
+        for device in self._devices.values():
+            if device.attached:
+                device.attached = False
+                count += 1
+        return count
+
+    def attach_all(self) -> int:
+        """Resume-handler step: re-attach everything; returns count."""
+        count = 0
+        for device in self._devices.values():
+            if not device.attached:
+                device.attached = True
+                count += 1
+        return count
+
+    def descriptor(self) -> list[str]:
+        """Stable description for the preserved domain configuration."""
+        return sorted(self._devices)

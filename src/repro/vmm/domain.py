@@ -1,0 +1,130 @@
+"""Domains: the VMM's unit of virtualization (Xen terminology, §4).
+
+A :class:`Domain` is hypervisor-side state: identity, memory (via its P2M
+table), virtual CPUs, devices, event channels and an execution context.
+The guest *software* running inside (kernel, page cache, services) is a
+separate object attached as ``domain.guest`` by the guest layer — the
+separation mirrors reality and is what lets a warm resume hand the same
+guest image to a brand-new domain record under a brand-new hypervisor.
+
+State machine::
+
+    BUILDING -> RUNNING -> SHUTTING_DOWN -> SHUTDOWN -> (destroyed) DEAD
+                  |  ^
+                  v  | (on-memory / saved resume)
+              SUSPENDING -> SUSPENDED
+
+Transitions are checked: illegal ones raise :class:`DomainError`, which is
+how tests catch orchestration bugs (e.g. resuming a domain that was never
+suspended).
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+from repro.errors import DomainError
+from repro.memory import P2MTable
+from repro.units import pages
+from repro.vmm.devices import DeviceSet
+
+
+class DomainState(enum.Enum):
+    BUILDING = "building"
+    RUNNING = "running"
+    SUSPENDING = "suspending"
+    SUSPENDED = "suspended"
+    SHUTTING_DOWN = "shutting-down"
+    SHUTDOWN = "shutdown"
+    DEAD = "dead"
+
+
+_LEGAL_TRANSITIONS: dict[DomainState, set[DomainState]] = {
+    DomainState.BUILDING: {DomainState.RUNNING, DomainState.DEAD},
+    DomainState.RUNNING: {
+        DomainState.SUSPENDING,
+        DomainState.SHUTTING_DOWN,
+        DomainState.DEAD,
+    },
+    DomainState.SUSPENDING: {DomainState.SUSPENDED, DomainState.DEAD},
+    DomainState.SUSPENDED: {DomainState.RUNNING, DomainState.DEAD},
+    DomainState.SHUTTING_DOWN: {DomainState.SHUTDOWN, DomainState.DEAD},
+    DomainState.SHUTDOWN: {DomainState.DEAD},
+    DomainState.DEAD: set(),
+}
+
+
+class Domain:
+    """Hypervisor-side record of one VM."""
+
+    def __init__(
+        self,
+        domid: int,
+        name: str,
+        memory_bytes: int,
+        vcpus: int = 1,
+        privileged: bool = False,
+    ) -> None:
+        if memory_bytes <= 0:
+            raise DomainError(f"domain {name!r} needs > 0 memory")
+        if vcpus < 1:
+            raise DomainError(f"domain {name!r} needs >= 1 vcpu")
+        self.domid = domid
+        self.name = name
+        self.memory_bytes = memory_bytes
+        self.vcpus = vcpus
+        self.privileged = privileged
+        self.state = DomainState.BUILDING
+        self.p2m = P2MTable(name, pages(memory_bytes))
+        self.devices = DeviceSet()
+        self.devices.add("vbd")
+        self.devices.add("vif")
+        self.execution_context: dict[str, typing.Any] = {"program_counter": 0}
+        self.guest: typing.Any = None
+        """The guest software image (set by the guest layer)."""
+
+    # -- state machine ------------------------------------------------------------
+
+    def transition(self, new_state: DomainState) -> None:
+        """Move to ``new_state``; illegal transitions raise."""
+        if new_state not in _LEGAL_TRANSITIONS[self.state]:
+            raise DomainError(
+                f"domain {self.name!r}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+
+    @property
+    def is_running(self) -> bool:
+        return self.state == DomainState.RUNNING
+
+    @property
+    def is_dom0(self) -> bool:
+        return self.privileged
+
+    def require_state(self, *states: DomainState) -> None:
+        """Raise :class:`DomainError` unless in one of ``states``."""
+        if self.state not in states:
+            raise DomainError(
+                f"domain {self.name!r} is {self.state.value}, expected "
+                f"{'/'.join(s.value for s in states)}"
+            )
+
+    # -- memory ------------------------------------------------------------------------
+
+    @property
+    def mapped_pages(self) -> int:
+        return self.p2m.mapped_pages
+
+    def configuration(self) -> dict[str, typing.Any]:
+        """The domain configuration saved at suspend (§4.2)."""
+        return {
+            "name": self.name,
+            "memory_bytes": self.memory_bytes,
+            "vcpus": self.vcpus,
+            "devices": self.devices.descriptor(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Domain {self.domid} {self.name!r} {self.state.value}>"

@@ -1,0 +1,102 @@
+"""Event channels: the Xen inter-domain notification primitive.
+
+Guests and dom0 communicate through numbered channels (console, xenstore,
+device rings).  The suspend path must snapshot channel state into the
+16 KB execution-state area and the resume handler re-establishes the
+bindings (§4.2) — so the table supports exactly that: snapshot/restore
+plus teardown when a domain dies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+from repro.errors import VMMError
+
+
+@dataclasses.dataclass
+class EventChannel:
+    """One bound inter-domain channel."""
+
+    port: int
+    owner: str
+    peer: str
+    purpose: str
+    pending: int = 0
+    """Notifications delivered but not yet consumed."""
+
+
+class EventChannelTable:
+    """All channels managed by one hypervisor instance."""
+
+    def __init__(self) -> None:
+        self._channels: dict[int, EventChannel] = {}
+        self._ports = itertools.count(1)
+        self.notifications_sent = 0
+
+    def bind(self, owner: str, peer: str, purpose: str) -> EventChannel:
+        """Allocate and bind a new channel between two domains."""
+        channel = EventChannel(next(self._ports), owner, peer, purpose)
+        self._channels[channel.port] = channel
+        return channel
+
+    def lookup(self, port: int) -> EventChannel:
+        """The channel bound on ``port``; raises if unbound."""
+        try:
+            return self._channels[port]
+        except KeyError:
+            raise VMMError(f"no event channel on port {port}") from None
+
+    def notify(self, port: int) -> None:
+        """Raise a pending notification on a channel."""
+        channel = self.lookup(port)
+        channel.pending += 1
+        self.notifications_sent += 1
+
+    def consume(self, port: int) -> int:
+        """Drain pending notifications; returns how many there were."""
+        channel = self.lookup(port)
+        pending, channel.pending = channel.pending, 0
+        return pending
+
+    def close(self, port: int) -> None:
+        """Unbind one channel; raises if already closed."""
+        if port not in self._channels:
+            raise VMMError(f"closing unbound port {port}")
+        del self._channels[port]
+
+    def channels_of(self, domain: str) -> list[EventChannel]:
+        """All channels with ``domain`` on either end."""
+        return [
+            c
+            for c in self._channels.values()
+            if domain in (c.owner, c.peer)
+        ]
+
+    def close_domain(self, domain: str) -> int:
+        """Tear down all of a dying domain's channels; returns count."""
+        ports = [c.port for c in self.channels_of(domain)]
+        for port in ports:
+            del self._channels[port]
+        return len(ports)
+
+    def snapshot_domain(self, domain: str) -> list[dict[str, typing.Any]]:
+        """Channel state for the execution-state save area (§4.2)."""
+        return [dataclasses.asdict(c) for c in self.channels_of(domain)]
+
+    def restore_domain(self, snapshot: list[dict[str, typing.Any]]) -> int:
+        """Re-establish channels from a saved snapshot (resume handler).
+
+        Ports are reallocated — the new VMM instance assigns fresh port
+        numbers, as re-binding after reboot does — but peers, purposes and
+        pending counts are preserved.  Returns channels restored.
+        """
+        for entry in snapshot:
+            channel = self.bind(entry["owner"], entry["peer"], entry["purpose"])
+            channel.pending = entry["pending"]
+        return len(snapshot)
+
+    def __len__(self) -> int:
+        return len(self._channels)

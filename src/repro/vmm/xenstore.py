@@ -1,0 +1,182 @@
+"""The xenstore daemon: dom0's hierarchical configuration store.
+
+xenstored keeps the ``/local/domain/<id>/...`` tree that the toolstack and
+device frontends coordinate through.  Two properties matter for this
+reproduction:
+
+* it lives in **domain 0**, so its aging (the changeset-8640 per-transaction
+  leak, §2) cannot be fixed by restarting it — "xenstored is not
+  restartable" — and therefore forces a dom0 (hence VMM) reboot;
+* every domain create/destroy is a burst of transactions, so a leaky
+  xenstored ages fastest exactly on machines that reboot VMs often.
+
+Memory accounting is in bytes against a fixed budget (dom0 is small, §2).
+When the budget is exhausted, operations start failing with
+:class:`~repro.errors.XenstoreError` — the "I/O processing in the
+privileged VM slows down" failure mode.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.aging.faults import AgingFaults
+from repro.errors import XenstoreError
+from repro.units import MiB
+
+_ENTRY_OVERHEAD_BYTES = 64
+
+
+class Xenstore:
+    """An in-memory hierarchical key-value store with leak accounting."""
+
+    def __init__(
+        self,
+        budget_bytes: int = 4 * MiB,
+        faults: AgingFaults | None = None,
+    ) -> None:
+        if budget_bytes <= 0:
+            raise XenstoreError(f"budget must be > 0, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self.faults = faults if faults is not None else AgingFaults.healthy()
+        self._tree: dict[str, str] = {}
+        self._watches: dict[str, list[typing.Callable[[str], None]]] = {}
+        self._leaked_bytes = 0
+        self.transactions = 0
+        self.watch_events_fired = 0
+
+    # -- memory accounting ----------------------------------------------------------
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(
+            _ENTRY_OVERHEAD_BYTES + len(k) + len(v) for k, v in self._tree.items()
+        )
+
+    @property
+    def leaked_bytes(self) -> int:
+        return self._leaked_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        return self.live_bytes + self._leaked_bytes
+
+    @property
+    def exhausted(self) -> bool:
+        return self.used_bytes >= self.budget_bytes
+
+    def _charge_transaction(self) -> None:
+        self.transactions += 1
+        leak = self.faults.xenstore_leak_per_txn_bytes
+        if leak:
+            self._leaked_bytes = min(
+                self._leaked_bytes + leak, self.budget_bytes
+            )
+        if self.exhausted:
+            raise XenstoreError(
+                f"xenstored out of memory ({self.used_bytes}/{self.budget_bytes} B,"
+                f" {self._leaked_bytes} B leaked)"
+            )
+
+    # -- store operations ---------------------------------------------------------------
+
+    @staticmethod
+    def _validate(path: str) -> str:
+        if not path.startswith("/") or path != path.rstrip("/") and path != "/":
+            raise XenstoreError(f"bad xenstore path {path!r}")
+        return path
+
+    def write(self, path: str, value: str) -> None:
+        """Create or update one entry (fires matching watches)."""
+        self._validate(path)
+        self._charge_transaction()
+        self._tree[path] = value
+        self._fire_watches(path)
+
+    def read(self, path: str) -> str:
+        """Read one entry; raises :class:`XenstoreError` if absent."""
+        self._validate(path)
+        self._charge_transaction()
+        try:
+            return self._tree[path]
+        except KeyError:
+            raise XenstoreError(f"no such path {path!r}") from None
+
+    def exists(self, path: str) -> bool:
+        """True if ``path`` holds a value (free: no transaction charged)."""
+        return path in self._tree
+
+    def remove(self, path: str) -> int:
+        """Remove a path and its whole subtree; returns entries removed."""
+        self._validate(path)
+        self._charge_transaction()
+        prefix = path.rstrip("/") + "/"
+        victims = [p for p in self._tree if p == path or p.startswith(prefix)]
+        for victim in victims:
+            del self._tree[victim]
+        for victim in victims:
+            self._fire_watches(victim)
+        return len(victims)
+
+    # -- watches (the toolstack's notification mechanism) --------------------------
+
+    def watch(
+        self, prefix: str, callback: typing.Callable[[str], None]
+    ) -> typing.Callable[[], None]:
+        """Invoke ``callback(path)`` whenever a path under ``prefix``
+        changes (write or removal) — xenstore's watch protocol, which
+        the toolstack and device frontends coordinate through.
+
+        Returns an unwatch callable.
+        """
+        self._validate(prefix)
+        self._watches.setdefault(prefix, []).append(callback)
+
+        def unwatch() -> None:
+            callbacks = self._watches.get(prefix, [])
+            if callback in callbacks:
+                callbacks.remove(callback)
+                if not callbacks:
+                    del self._watches[prefix]
+
+        return unwatch
+
+    def _fire_watches(self, path: str) -> None:
+        for prefix, callbacks in list(self._watches.items()):
+            if path == prefix or path.startswith(prefix.rstrip("/") + "/"):
+                for callback in list(callbacks):
+                    self.watch_events_fired += 1
+                    callback(path)
+
+    def list_dir(self, path: str) -> list[str]:
+        """Immediate children names of ``path``."""
+        self._validate(path)
+        self._charge_transaction()
+        prefix = path.rstrip("/") + "/" if path != "/" else "/"
+        children = {
+            p[len(prefix):].split("/", 1)[0]
+            for p in self._tree
+            if p.startswith(prefix)
+        }
+        return sorted(children)
+
+    # -- toolstack helpers ------------------------------------------------------------------
+
+    def register_domain(self, domid: int, name: str, memory_bytes: int) -> None:
+        """The burst of writes a domain introduction performs."""
+        base = f"/local/domain/{domid}"
+        self.write(f"{base}/name", name)
+        self.write(f"{base}/memory", str(memory_bytes))
+        self.write(f"{base}/state", "introduced")
+
+    def unregister_domain(self, domid: int) -> None:
+        """Remove a domain's whole subtree."""
+        self.remove(f"/local/domain/{domid}")
+
+    def registered_domids(self) -> list[int]:
+        """Sorted domids currently introduced in the store."""
+        return sorted(
+            int(name)
+            for name in self.list_dir("/local/domain")
+            if name.isdigit()
+        )

@@ -1,0 +1,26 @@
+"""Client workloads: httperf-style HTTP load, downtime probing, file reads.
+
+These reproduce the paper's measurement methodology: windowed throughput
+(Fig. 7), packet probing for downtime (§5.3), and timed first/second file
+accesses (Fig. 8).
+"""
+
+from repro.workloads.fileread import (
+    ReadMeasurement,
+    degradation,
+    first_and_second_read,
+    timed_read,
+)
+from repro.workloads.httperf import Completion, Httperf
+from repro.workloads.prober import PingProber, ProbedOutage
+
+__all__ = [
+    "Completion",
+    "Httperf",
+    "PingProber",
+    "ProbedOutage",
+    "ReadMeasurement",
+    "degradation",
+    "first_and_second_read",
+    "timed_read",
+]

@@ -1,0 +1,53 @@
+"""Sequential file-read benchmark (Figure 8(a)).
+
+§5.5 measures "the time needed to read a file of 512 MB" before and after
+each kind of reboot, for first- and second-time accesses.  The benchmark
+returns throughput in bytes/second so degradation percentages can be
+computed exactly the way the paper reports them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import ReproError
+from repro.guest.kernel import GuestKernel
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadMeasurement:
+    """One timed sequential read."""
+
+    path: str
+    nbytes: int
+    duration: float
+
+    @property
+    def throughput(self) -> float:
+        """Bytes per second."""
+        if self.duration <= 0:
+            raise ReproError(f"degenerate measurement of {self.path!r}")
+        return self.nbytes / self.duration
+
+
+def timed_read(guest: GuestKernel, path: str) -> typing.Generator:
+    """Read ``path`` fully; returns a :class:`ReadMeasurement`."""
+    sim = guest.sim
+    started = sim.now
+    nbytes = yield from guest.read_file(path)
+    return ReadMeasurement(path, nbytes, sim.now - started)
+
+
+def first_and_second_read(guest: GuestKernel, path: str) -> typing.Generator:
+    """The paper's first-access / second-access pair."""
+    first = yield from timed_read(guest, path)
+    second = yield from timed_read(guest, path)
+    return first, second
+
+
+def degradation(before: float, after: float) -> float:
+    """Fractional throughput loss, e.g. 0.91 for the paper's '91 %'."""
+    if before <= 0:
+        raise ReproError("before-throughput must be positive")
+    return 1.0 - after / before

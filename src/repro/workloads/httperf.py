@@ -1,0 +1,164 @@
+"""An httperf-like HTTP workload generator (Mosberger & Jin, as cited).
+
+Used two ways in the paper's evaluation:
+
+* **Figure 7**: a stream of requests against one VM's Apache while the VMM
+  reboots, plotting the moving average throughput of 50 requests;
+* **Figure 8(b)**: 10 concurrent client processes requesting 10 000
+  512 KB files exactly once each, before and after the reboot.
+
+The client resolves its target service *per request* through a lookup
+callable, because a cold reboot replaces the service object; requests
+against an unreachable or missing service count as failures and are
+retried after a short back-off — which is exactly how a real client's
+throughput collapses to zero during downtime and recovers after it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import ReproError, ServiceError
+from repro.guest.services import Service
+from repro.simkernel import Process, Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class Completion:
+    """One successfully served request."""
+
+    time: float
+    path: str
+    nbytes: int
+    latency: float
+
+
+class Httperf:
+    """A concurrent HTTP client against one (re-resolvable) service."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        lookup: typing.Callable[[], Service],
+        paths: typing.Iterable[str],
+        concurrency: int = 10,
+        retry_interval_s: float = 0.25,
+        each_path_once: bool = False,
+        name: str = "httperf",
+    ) -> None:
+        if concurrency < 1:
+            raise ReproError("concurrency must be >= 1")
+        if retry_interval_s <= 0:
+            raise ReproError("retry interval must be positive")
+        self.sim = sim
+        self.lookup = lookup
+        self.name = name
+        self.concurrency = concurrency
+        self.retry_interval_s = retry_interval_s
+        self.each_path_once = each_path_once
+        self._paths = list(paths)
+        if not self._paths:
+            raise ReproError("httperf needs at least one path")
+        self._cursor = 0
+        self._stopped = False
+        self._workers: list[Process] = []
+        self.completions: list[Completion] = []
+        self.failures = 0
+
+    # -- control ----------------------------------------------------------------
+
+    def start(self) -> "Httperf":
+        """Launch the worker processes; returns self for chaining."""
+        if self._workers:
+            raise ReproError(f"{self.name} already started")
+        self._workers = [
+            self.sim.spawn(self._worker(), name=f"{self.name}.w{i}")
+            for i in range(self.concurrency)
+        ]
+        return self
+
+    def stop(self) -> None:
+        """Kill all workers (pending requests are abandoned)."""
+        self._stopped = True
+        for worker in self._workers:
+            if worker.is_alive:
+                worker.kill()
+
+    @property
+    def done(self) -> bool:
+        """True when every worker has finished (each-path-once mode)."""
+        return bool(self._workers) and all(not w.is_alive for w in self._workers)
+
+    def wait(self) -> typing.Any:
+        """An event that fires when all workers finish."""
+        return self.sim.all_of(self._workers)
+
+    # -- the client loop -----------------------------------------------------------
+
+    def _next_path(self) -> str | None:
+        if self.each_path_once:
+            if self._cursor >= len(self._paths):
+                return None
+            path = self._paths[self._cursor]
+            self._cursor += 1
+            return path
+        path = self._paths[self._cursor % len(self._paths)]
+        self._cursor += 1
+        return path
+
+    def _worker(self) -> typing.Generator:
+        while not self._stopped:
+            path = self._next_path()
+            if path is None:
+                return
+            while not self._stopped:
+                issued = self.sim.now
+                try:
+                    service = self.lookup()
+                    nbytes = yield from service.handle_request(path=path)
+                except (ServiceError, ReproError):
+                    self.failures += 1
+                    yield self.sim.timeout(self.retry_interval_s)
+                    continue
+                self.completions.append(
+                    Completion(self.sim.now, path, nbytes, self.sim.now - issued)
+                )
+                break
+
+    # -- measurement -----------------------------------------------------------------
+
+    @property
+    def bytes_served(self) -> int:
+        return sum(c.nbytes for c in self.completions)
+
+    def mean_rate(
+        self, since: float = float("-inf"), until: float = float("inf")
+    ) -> float:
+        """Mean completions/second over a window."""
+        window = [c for c in self.completions if since <= c.time <= until]
+        if len(window) < 2:
+            return 0.0
+        span = window[-1].time - window[0].time
+        return (len(window) - 1) / span if span > 0 else float("inf")
+
+    def mean_byte_rate(
+        self, since: float = float("-inf"), until: float = float("inf")
+    ) -> float:
+        """Mean payload bytes/second over a window."""
+        window = [c for c in self.completions if since <= c.time <= until]
+        if len(window) < 2:
+            return 0.0
+        span = window[-1].time - window[0].time
+        return sum(c.nbytes for c in window[:-1]) / span if span > 0 else float("inf")
+
+    def throughput_timeline(self, window: int = 50) -> list[tuple[float, float]]:
+        """The paper's Figure 7 series: at each completion, the average
+        throughput (req/s) of the last ``window`` completions."""
+        points: list[tuple[float, float]] = []
+        times = [c.time for c in self.completions]
+        for i in range(window, len(times)):
+            span = times[i] - times[i - window]
+            if span > 0:
+                points.append((times[i], window / span))
+        return points

@@ -1,0 +1,164 @@
+"""Unit tests for the cluster, load balancer, and rolling rejuvenation."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    LoadBalancer,
+    MigrationRejuvenator,
+    RollingRejuvenator,
+)
+from repro.config import small_testbed
+from repro.errors import ClusterError
+from repro.simkernel import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+def started_cluster(sim, size=2, spare=False, services=("ssh",)):
+    cluster = Cluster(
+        sim, size=size, vms_per_host=1, services=services,
+        profile=small_testbed(), spare=spare,
+    )
+    sim.run(sim.spawn(cluster.start()))
+    return cluster
+
+
+class TestCluster:
+    def test_validation(self, sim):
+        with pytest.raises(ClusterError):
+            Cluster(sim, size=0)
+        with pytest.raises(ClusterError):
+            Cluster(sim, size=1, vms_per_host=0)
+
+    def test_start_brings_all_hosts_up(self, sim):
+        cluster = started_cluster(sim, size=3)
+        assert len(cluster.services()) == 3
+        for host in cluster.hosts:
+            assert host.started
+
+    def test_spare_host_has_no_vms(self, sim):
+        cluster = started_cluster(sim, spare=True)
+        assert cluster.spare is not None
+        assert cluster.spare.vm_count == 0
+
+    def test_host_lookup(self, sim):
+        cluster = started_cluster(sim)
+        assert cluster.host("host0").name == "host0"
+        with pytest.raises(ClusterError):
+            cluster.host("nope")
+
+    def test_hosts_have_independent_hardware(self, sim):
+        cluster = started_cluster(sim)
+        assert cluster.host("host0").machine is not cluster.host("host1").machine
+
+
+class TestLoadBalancer:
+    def test_round_robin_over_reachable(self, sim):
+        cluster = started_cluster(sim, size=2)
+        lb = LoadBalancer(sim, lambda: cluster.services("sshd"))
+        picks = [lb.pick().guest.name for _ in range(4)]
+        assert set(picks) == {"host0-vm0", "host1-vm0"}
+        assert lb.dispatched == 4
+
+    def test_skips_unreachable_host(self, sim):
+        cluster = started_cluster(sim, size=2)
+        guest = cluster.host("host0").guest("host0-vm0")
+        sim.run(sim.spawn(guest.run_suspend_handler()))
+        lb = LoadBalancer(sim, lambda: cluster.services("sshd"))
+        picks = {lb.pick().guest.name for _ in range(4)}
+        assert picks == {"host1-vm0"}
+
+    def test_no_replicas_raises(self, sim):
+        lb = LoadBalancer(sim, lambda: [])
+        with pytest.raises(ClusterError):
+            lb.pick()
+        assert lb.rejected == 1
+
+    def test_all_down_raises(self, sim):
+        cluster = started_cluster(sim, size=1)
+        guest = cluster.host("host0").guest("host0-vm0")
+        sim.run(sim.spawn(guest.run_suspend_handler()))
+        lb = LoadBalancer(sim, lambda: cluster.services("sshd"))
+        with pytest.raises(ClusterError):
+            lb.pick()
+
+    def test_dispatch_serves_request(self, sim):
+        cluster = started_cluster(sim, size=2)
+        lb = LoadBalancer(sim, lambda: cluster.services("sshd"))
+        result = sim.run(sim.spawn(lb.dispatch(payload_bytes=128)))
+        assert result == 128
+
+
+class TestRollingRejuvenation:
+    def test_all_hosts_rebooted(self, sim):
+        cluster = started_cluster(sim, size=3)
+        rejuvenator = RollingRejuvenator(cluster, strategy="warm", settle_s=1)
+        sim.run(sim.spawn(rejuvenator.run()))
+        assert [r.host for r in rejuvenator.completed] == [
+            "host0", "host1", "host2",
+        ]
+        for host in cluster.hosts:
+            assert host.generation == 2
+
+    def test_sequential_not_overlapping(self, sim):
+        cluster = started_cluster(sim, size=2)
+        rejuvenator = RollingRejuvenator(cluster, strategy="warm", settle_s=0)
+        sim.run(sim.spawn(rejuvenator.run()))
+        first, second = rejuvenator.completed
+        assert second.started >= first.finished
+
+    def test_service_continuity_under_warm_rolling(self, sim):
+        """At most one replica is ever down: the LB can always dispatch."""
+        cluster = started_cluster(sim, size=2)
+        lb = LoadBalancer(sim, lambda: cluster.services("sshd"))
+        failures = []
+
+        def prober(sim):
+            while True:
+                try:
+                    lb.pick()
+                except ClusterError:
+                    failures.append(sim.now)
+                yield sim.timeout(2.0)
+
+        probe = sim.spawn(prober(sim))
+        rejuvenator = RollingRejuvenator(cluster, strategy="warm", settle_s=2)
+        sim.run(sim.spawn(rejuvenator.run()))
+        probe.kill()
+        assert failures == []
+
+    def test_validation(self, sim):
+        cluster = started_cluster(sim)
+        with pytest.raises(ClusterError):
+            RollingRejuvenator(cluster, settle_s=-1)
+
+
+class TestMigrationRejuvenation:
+    def test_requires_spare(self, sim):
+        cluster = started_cluster(sim, spare=False)
+        with pytest.raises(ClusterError):
+            MigrationRejuvenator(cluster)
+
+    def test_vms_return_home(self, sim):
+        cluster = started_cluster(sim, size=2, spare=True)
+        rejuvenator = MigrationRejuvenator(cluster, strategy="cold")
+        sim.run(sim.spawn(rejuvenator.run()))
+        for host in cluster.hosts:
+            assert host.generation == 2  # rebooted once
+            vm = f"{host.name}-vm0"
+            assert host.guest(vm).state.value == "running"
+        assert cluster.spare.require_vmm().domus == []
+
+    def test_guest_state_survives_whole_cycle(self, sim):
+        cluster = started_cluster(sim, size=1, spare=True)
+        guest = cluster.host("host0").guest("host0-vm0")
+        guest.page_cache.insert("/hot", 4096)
+        rejuvenator = MigrationRejuvenator(cluster, strategy="cold")
+        sim.run(sim.spawn(rejuvenator.run()))
+        after = cluster.host("host0").guest("host0-vm0")
+        assert after is guest  # same image travelled out and back
+        assert after.page_cache.cached_bytes("/hot") == 4096

@@ -1,0 +1,92 @@
+"""Integration tests: every experiment runner reproduces its paper shape.
+
+These are the repository's acceptance tests — each runs a full
+table/figure reproduction (sparse sweeps) and asserts the paper-vs-
+measured rows land within tolerance.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import (
+    describe,
+    experiment_ids,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_ids_present(self):
+        ids = experiment_ids()
+        for expected in (
+            "FIG2", "FIG4", "FIG5", "SEC52", "FIG6",
+            "SEC53", "FIG7", "FIG8", "SEC56", "FIG9",
+        ):
+            assert expected in ids
+
+    def test_describe(self):
+        assert "quick reload" in describe("SEC52")
+        with pytest.raises(ReproError):
+            describe("FIG99")
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ReproError):
+            run_experiment("FIG99")
+
+    def test_case_insensitive(self):
+        result = run_experiment("sec52")
+        assert result.experiment_id == "SEC52"
+
+
+@pytest.mark.parametrize(
+    "experiment_id",
+    ["FIG2", "FIG4", "FIG5", "SEC52", "FIG6", "SEC53", "FIG8", "SEC56"],
+)
+def test_experiment_reproduces_paper_shape(experiment_id):
+    result = run_experiment(experiment_id)
+    assert result.rows, f"{experiment_id} produced no comparison rows"
+    failing = [row for row in result.rows if not row.within_tolerance]
+    assert not failing, (
+        f"{experiment_id} deviates: "
+        + "; ".join(
+            f"{row.label}: paper={row.paper} measured={row.measured}"
+            for row in failing
+        )
+    )
+    assert result.render()  # renders without error
+
+
+@pytest.mark.slow
+def test_fig7_reproduces_paper_shape():
+    result = run_experiment("FIG7")
+    failing = [row for row in result.rows if not row.within_tolerance]
+    assert not failing, [row.label for row in failing]
+
+
+@pytest.mark.slow
+def test_fig9_reproduces_paper_shape():
+    result = run_experiment("FIG9")
+    failing = [row for row in result.rows if not row.within_tolerance]
+    assert not failing, [row.label for row in failing]
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG6" in out
+
+    def test_run_one(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["SEC52"]) == 0
+        out = capsys.readouterr().out
+        assert "SHAPE REPRODUCED" in out
+
+    def test_no_args_errors(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,199 @@
+"""Unit tests for guest kernel lifecycle, file I/O, and image integrity."""
+
+import pytest
+
+from repro.config import paper_testbed
+from repro.errors import GuestError
+from repro.guest import GuestKernel, GuestState
+from repro.units import MiB, gib, mib
+
+from tests.conftest import build_started_host
+
+
+class TestConstruction:
+    def test_needs_enough_memory(self):
+        with pytest.raises(GuestError):
+            GuestKernel("tiny", mib(64), paper_testbed())
+
+    def test_page_cache_sized_below_memory(self):
+        guest = GuestKernel("vm", gib(1), paper_testbed())
+        assert guest.page_cache.capacity_bytes == gib(1) - 128 * MiB
+
+    def test_unbound_guest_rejects_machine_access(self):
+        guest = GuestKernel("vm", gib(1), paper_testbed())
+        with pytest.raises(GuestError):
+            _ = guest.machine
+
+
+class TestLifecycle:
+    def test_boot_brings_services_up(self, sim, started_host):
+        guest = started_host.guest("vm0")
+        assert guest.state is GuestState.RUNNING
+        assert all(s.is_up for s in guest.services)
+        assert guest.service("sshd").reachable
+
+    def test_boot_twice_rejected(self, sim, started_host):
+        guest = started_host.guest("vm0")
+        proc = sim.spawn(guest.boot())
+        proc.defuse()
+        sim.run()
+        assert isinstance(proc.value, GuestError)
+
+    def test_boot_time_single_vm(self, sim):
+        """A lone 1 GiB guest boots in ~5-7 s (§5.6: boot(1) ~ 6.2)."""
+        host = build_started_host(sim, n_vms=0)
+        from repro.core import VMSpec
+
+        spec = VMSpec("solo", memory_bytes=gib(1))
+        host.vm_specs[spec.name] = spec
+        host.machine.disk_store["fs:solo"] = __import__(
+            "repro.guest.filesystem", fromlist=["Filesystem"]
+        ).Filesystem()
+        t0 = sim.now
+        sim.run(sim.spawn(host.cold_boot_guests([spec])))
+        assert 4.5 <= sim.now - t0 <= 8.0
+
+    def test_shutdown_stops_services(self, sim, started_host):
+        guest = started_host.guest("vm0")
+        sim.run(sim.spawn(guest.shutdown()))
+        assert guest.state is GuestState.OFF
+        assert not any(s.is_up for s in guest.services)
+
+    def test_shutdown_duration(self, sim, started_host):
+        guest = started_host.guest("vm0")
+        t0 = sim.now
+        sim.run(sim.spawn(guest.shutdown()))
+        # ~10.2 fixed + small sync.
+        assert 10.0 <= sim.now - t0 <= 11.5
+
+    def test_services_drop_early_in_shutdown(self, sim, started_host):
+        guest = started_host.guest("vm0")
+        t0 = sim.now
+        sim.spawn(guest.shutdown())
+        # Services drop ~3 s in (init works through its stop scripts),
+        # well before the ~10 s shutdown completes.
+        sim.run(until=t0 + 3.5)
+        assert not guest.service("sshd").is_up
+        assert guest.state is GuestState.SHUTTING_DOWN
+        sim.run()
+
+    def test_mark_dead(self, sim, started_host):
+        guest = started_host.guest("vm0")
+        guest.mark_dead()
+        assert guest.state is GuestState.DEAD
+        assert not guest.is_network_reachable
+
+
+class TestSuspendResume:
+    def test_handler_cycle_preserves_services(self, sim, started_host):
+        guest = started_host.guest("vm0")
+        sim.run(sim.spawn(guest.run_suspend_handler()))
+        assert guest.state is GuestState.SUSPENDED
+        assert guest.domain.devices.attached_count == 0
+        assert not guest.is_network_reachable
+        sim.run(sim.spawn(guest.run_resume_handler()))
+        assert guest.state is GuestState.RUNNING
+        assert guest.domain.devices.attached_count == 2
+        assert guest.service("sshd").is_up  # never restarted
+
+    def test_resume_without_suspend_rejected(self, sim, started_host):
+        guest = started_host.guest("vm0")
+        proc = sim.spawn(guest.run_resume_handler())
+        proc.defuse()
+        sim.run()
+        assert isinstance(proc.value, GuestError)
+
+    def test_integrity_verification_catches_scrub(self, sim, started_host):
+        """If the VMM scrubbed a 'preserved' image, resume must detect it."""
+        guest = started_host.guest("vm0")
+        sim.run(sim.spawn(guest.run_suspend_handler()))
+        mfn = guest.domain.p2m.mfn_of(0)
+        started_host.machine.memory.write_token(mfn, "corrupted")
+        proc = sim.spawn(guest.run_resume_handler())
+        proc.defuse()
+        sim.run()
+        assert isinstance(proc.value, GuestError)
+        assert "corrupted" in str(proc.value)
+
+
+class TestFileIO:
+    @pytest.fixture()
+    def guest_with_file(self, sim, started_host):
+        guest = started_host.guest("vm0")
+        guest.filesystem.create("/data/big", mib(512))
+        return guest
+
+    def test_first_read_goes_to_disk(self, sim, guest_with_file):
+        guest = guest_with_file
+        t0 = sim.now
+        sim.run(sim.spawn(guest.read_file("/data/big")))
+        duration = sim.now - t0
+        # 512 MiB at 85-88 MiB/s sequential: ~6 s.
+        assert 5.5 <= duration <= 6.6
+        assert guest.page_cache.cached_bytes("/data/big") == mib(512)
+
+    def test_second_read_hits_cache(self, sim, guest_with_file):
+        """The Figure 8(a) contrast: ~6 s cold vs ~0.55 s warm."""
+        guest = guest_with_file
+        sim.run(sim.spawn(guest.read_file("/data/big")))
+        t0 = sim.now
+        sim.run(sim.spawn(guest.read_file("/data/big")))
+        duration = sim.now - t0
+        assert 0.4 <= duration <= 0.7
+
+    def test_read_missing_file_raises(self, sim, guest_with_file):
+        proc = sim.spawn(guest_with_file.read_file("/nope"))
+        proc.defuse()
+        sim.run()
+        assert not proc.ok
+
+    def test_partial_read(self, sim, guest_with_file):
+        guest = guest_with_file
+        sim.run(sim.spawn(guest.read_file("/data/big", nbytes=mib(10))))
+        assert guest.page_cache.cached_bytes("/data/big") == mib(10)
+
+    def test_warm_file_cache_helper(self, sim, guest_with_file):
+        guest = guest_with_file
+        guest.filesystem.create("/data/other", mib(8))
+        sim.run(sim.spawn(guest.warm_file_cache(["/data/big", "/data/other"])))
+        assert guest.page_cache.cached_bytes("/data/other") == mib(8)
+
+    def test_read_while_not_running_rejected(self, sim, guest_with_file):
+        guest = guest_with_file
+        sim.run(sim.spawn(guest.run_suspend_handler()))
+        proc = sim.spawn(guest.read_file("/data/big"))
+        proc.defuse()
+        sim.run()
+        assert isinstance(proc.value, GuestError)
+
+
+class TestFilesystem:
+    def test_create_many(self):
+        from repro.guest import Filesystem
+
+        fs = Filesystem()
+        paths = fs.create_many("/www", 100, mib(1) // 2)
+        assert len(paths) == 100
+        assert fs.total_bytes == 100 * mib(1) // 2
+        assert fs.size_of(paths[0]) == mib(1) // 2
+
+    def test_bad_paths_rejected(self):
+        from repro.errors import FilesystemError
+        from repro.guest import Filesystem
+
+        fs = Filesystem()
+        with pytest.raises(FilesystemError):
+            fs.create("relative", 10)
+        with pytest.raises(FilesystemError):
+            fs.create("/f", -1)
+
+    def test_remove(self):
+        from repro.errors import FilesystemError
+        from repro.guest import Filesystem
+
+        fs = Filesystem()
+        fs.create("/a", 10)
+        fs.remove("/a")
+        assert not fs.exists("/a")
+        with pytest.raises(FilesystemError):
+            fs.remove("/a")

@@ -1,0 +1,116 @@
+"""Unit tests for guest services and request handling."""
+
+import pytest
+
+from repro.config import ServiceCosts
+from repro.errors import ServiceError
+from repro.guest import ApacheServer, JBossServer, SshServer, make_service
+from repro.units import mib
+
+from tests.conftest import build_started_host
+
+
+class TestFactories:
+    def test_make_service_kinds(self):
+        costs = ServiceCosts()
+        assert isinstance(make_service("ssh", costs), SshServer)
+        assert isinstance(make_service("apache", costs), ApacheServer)
+        assert isinstance(make_service("jboss", costs), JBossServer)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServiceError):
+            make_service("postgres", ServiceCosts())
+
+    def test_jboss_heavier_than_ssh(self):
+        costs = ServiceCosts()
+        jboss = make_service("jboss", costs)
+        ssh = make_service("ssh", costs)
+        assert jboss.read_bytes > ssh.read_bytes
+        assert jboss.cpu_s > ssh.cpu_s
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self, sim, started_host):
+        guest = started_host.guest("vm0")
+        service = guest.service("sshd")
+        proc = sim.spawn(service.start(guest))
+        proc.defuse()
+        sim.run()
+        assert isinstance(proc.value, ServiceError)
+
+    def test_unreachable_when_guest_suspended(self, sim, started_host):
+        guest = started_host.guest("vm0")
+        service = guest.service("sshd")
+        assert service.reachable
+        sim.run(sim.spawn(guest.run_suspend_handler()))
+        assert service.is_up  # process alive in the frozen image
+        assert not service.reachable  # but nobody answers the network
+
+    def test_unreachable_when_nic_down(self, sim, started_host):
+        service = started_host.guest("vm0").service("sshd")
+        started_host.machine.nic.bring_down()
+        assert not service.reachable
+        started_host.machine.nic.bring_up()
+        assert service.reachable
+
+    def test_start_count_tracks_restarts(self, sim, started_host):
+        guest = started_host.guest("vm0")
+        service = guest.service("sshd")
+        assert service.start_count == 1
+        service.mark_stopped("test")
+        sim.run(sim.spawn(service.start(guest)))
+        assert service.start_count == 2
+
+    def test_mark_stopped_traces_once(self, sim, started_host):
+        service = started_host.guest("vm0").service("sshd")
+        before = len(sim.trace.select("service.down"))
+        service.mark_stopped("test")
+        service.mark_stopped("test")  # idempotent
+        assert len(sim.trace.select("service.down")) == before + 1
+
+
+class TestRequests:
+    def test_ssh_echo(self, sim, started_host):
+        service = started_host.guest("vm0").service("sshd")
+        result = sim.run(sim.spawn(service.handle_request(payload_bytes=512)))
+        assert result == 512
+        assert service.requests_served == 1
+
+    def test_request_to_unreachable_fails(self, sim, started_host):
+        guest = started_host.guest("vm0")
+        service = guest.service("sshd")
+        sim.run(sim.spawn(guest.run_suspend_handler()))
+        proc = sim.spawn(service.handle_request())
+        proc.defuse()
+        sim.run()
+        assert isinstance(proc.value, ServiceError)
+
+    def test_generic_service_serves_nothing(self, sim):
+        from repro.guest.services import Service
+
+        svc = Service("thing", 0, 0.0)
+        proc_gen = svc.handle_request()
+        with pytest.raises(ServiceError):
+            next(proc_gen)
+
+    def test_apache_serves_from_cache_vs_disk(self, sim):
+        host = build_started_host(sim, n_vms=1, services=("apache",))
+        guest = host.guest("vm0")
+        apache = guest.service("apache")
+        guest.filesystem.create("/www/page", mib(1) // 2)
+
+        t0 = sim.now
+        sim.run(sim.spawn(apache.handle_request(path="/www/page")))
+        cold = sim.now - t0
+
+        t0 = sim.now
+        sim.run(sim.spawn(apache.handle_request(path="/www/page")))
+        warm = sim.now - t0
+        assert warm < cold  # second hit skips the disk seek
+        assert apache.requests_served == 2
+
+    def test_jboss_request(self, sim):
+        host = build_started_host(sim, n_vms=1, services=("jboss",))
+        service = host.guest("vm0").service("jboss")
+        result = sim.run(sim.spawn(service.handle_request()))
+        assert result == 2048

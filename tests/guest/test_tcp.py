@@ -1,0 +1,104 @@
+"""Unit tests for TCP session survival semantics (§5.3)."""
+
+import pytest
+
+from repro.errors import GuestError
+from repro.guest import SessionState, TcpSession
+
+from tests.conftest import build_started_host
+
+
+@pytest.fixture()
+def host_and_service(sim):
+    host = build_started_host(sim, n_vms=1)
+    return host, host.guest("vm0").service("sshd")
+
+
+class TestConstruction:
+    def test_requires_reachable_service(self, sim, host_and_service):
+        host, service = host_and_service
+        sim.run(sim.spawn(host.guest("vm0").run_suspend_handler()))
+        with pytest.raises(GuestError):
+            TcpSession(sim, service)
+
+    def test_invalid_timeouts_rejected(self, sim, host_and_service):
+        _, service = host_and_service
+        with pytest.raises(GuestError):
+            TcpSession(sim, service, client_timeout_s=0)
+        with pytest.raises(GuestError):
+            TcpSession(sim, service, probe_interval_s=0)
+
+
+class TestSurvival:
+    def test_session_stays_up_without_outage(self, sim, host_and_service):
+        _, service = host_and_service
+        session = TcpSession(sim, service, client_timeout_s=60)
+        sim.run(until=sim.now + 30)
+        assert session.alive
+        session.close()
+
+    def test_short_outage_survived_by_retransmission(self, sim, host_and_service):
+        """Warm-reboot-style outage (42 s < 60 s timeout): survives."""
+        host, service = host_and_service
+        guest = host.guest("vm0")
+        session = TcpSession(sim, service, client_timeout_s=60)
+
+        def outage(sim):
+            yield sim.spawn(guest.run_suspend_handler())
+            yield sim.timeout(42)
+            yield sim.spawn(guest.run_resume_handler())
+
+        sim.spawn(outage(sim))
+        sim.run(until=sim.now + 120)
+        assert session.alive
+        assert session.outage_total_s == pytest.approx(42, abs=1.5)
+        session.close()
+
+    def test_long_outage_times_out(self, sim, host_and_service):
+        """Saved-reboot-style outage (429 s > 60 s): client times out."""
+        host, service = host_and_service
+        guest = host.guest("vm0")
+        session = TcpSession(sim, service, client_timeout_s=60)
+
+        def outage(sim):
+            yield sim.spawn(guest.run_suspend_handler())
+            yield sim.timeout(429)
+            yield sim.spawn(guest.run_resume_handler())
+
+        sim.spawn(outage(sim))
+        sim.run(until=sim.now + 500)
+        assert session.state is SessionState.TIMED_OUT
+
+    def test_server_stop_resets_session(self, sim, host_and_service):
+        """Cold-reboot-style: the server process dies -> connection reset."""
+        _, service = host_and_service
+        session = TcpSession(sim, service, client_timeout_s=600)
+        service.mark_stopped("shutdown")
+        sim.run(until=sim.now + 5)
+        assert session.state is SessionState.RESET
+
+    def test_server_restart_resets_session(self, sim, host_and_service):
+        host, service = host_and_service
+        guest = host.guest("vm0")
+        session = TcpSession(sim, service, client_timeout_s=600)
+        service.mark_stopped("shutdown")
+        sim.run(sim.spawn(service.start(guest)))
+        sim.run(until=sim.now + 5)
+        assert session.state is SessionState.RESET
+
+    def test_close_stops_monitoring(self, sim, host_and_service):
+        _, service = host_and_service
+        session = TcpSession(sim, service)
+        session.close()
+        service.mark_stopped("shutdown")
+        sim.run(until=sim.now + 5)
+        assert session.state is SessionState.CONNECTED  # no longer watching
+
+    def test_trace_records_outcome(self, sim, host_and_service):
+        _, service = host_and_service
+        TcpSession(sim, service, client_timeout_s=600)
+        service.mark_stopped("shutdown")
+        sim.run(until=sim.now + 5)
+        record = sim.trace.last("tcp.session.closed")
+        assert record is not None
+        assert record["outcome"] == "reset"

@@ -1,0 +1,86 @@
+"""Unit and property tests for the balloon driver."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import Balloon, Extent, FrameAllocator, MachineMemory, P2MTable
+
+
+def make_domain(total_pages=1000, domain_pages=200):
+    allocator = FrameAllocator(MachineMemory(total_pages))
+    p2m = P2MTable("dom1", domain_pages)
+    extent = allocator.allocate(domain_pages, "dom1")
+    p2m.map_extent(0, extent)
+    return allocator, p2m, Balloon(allocator, p2m, "dom1")
+
+
+class TestInflate:
+    def test_inflate_returns_pages_to_vmm(self):
+        allocator, p2m, balloon = make_domain()
+        freed = balloon.inflate(50)
+        assert freed == 50
+        assert p2m.mapped_pages == 150
+        assert allocator.pages_of("dom1") == 150
+        assert balloon.ballooned_pages == 50
+
+    def test_inflate_clamps_to_mapped(self):
+        _, p2m, balloon = make_domain(domain_pages=100)
+        assert balloon.inflate(500) == 100
+        assert p2m.mapped_pages == 0
+
+    def test_inflate_zero(self):
+        _, _, balloon = make_domain()
+        assert balloon.inflate(0) == 0
+
+    def test_negative_rejected(self):
+        from repro.errors import MemoryError_
+
+        _, _, balloon = make_domain()
+        with pytest.raises(MemoryError_):
+            balloon.inflate(-1)
+
+
+class TestDeflate:
+    def test_deflate_reclaims(self):
+        allocator, p2m, balloon = make_domain()
+        balloon.inflate(100)
+        regained = balloon.deflate(60)
+        assert regained == 60
+        assert p2m.mapped_pages == 160
+        assert allocator.pages_of("dom1") == 160
+
+    def test_deflate_clamps_to_balloon_size(self):
+        _, p2m, balloon = make_domain()
+        balloon.inflate(30)
+        assert balloon.deflate(100) == 30
+        assert p2m.mapped_pages == 200
+
+    def test_deflate_limited_by_free_memory(self):
+        allocator, p2m, balloon = make_domain(total_pages=250, domain_pages=200)
+        balloon.inflate(100)  # free: 50 (other) + 100 = 150
+        allocator.allocate(140, "hog")
+        regained = balloon.deflate(100)
+        assert regained == 10  # only 10 pages were left
+        assert p2m.mapped_pages == 110
+
+    def test_set_target(self):
+        _, p2m, balloon = make_domain()
+        assert balloon.set_target(120) == 120
+        assert balloon.set_target(180) == 180
+        assert balloon.set_target(10_000) == 200  # capped at domain size
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    steps=st.lists(st.integers(min_value=0, max_value=300), min_size=1, max_size=20)
+)
+def test_balloon_keeps_p2m_and_allocator_consistent(steps):
+    """Property: after any sequence of retargets, the machine pages the
+    allocator charges to the domain equal the pages its P2M maps, and the
+    allocator invariants hold (overcommit bookkeeping of §4.1)."""
+    allocator, p2m, balloon = make_domain(total_pages=1000, domain_pages=300)
+    for target in steps:
+        balloon.set_target(target)
+        assert allocator.pages_of("dom1") == p2m.mapped_pages
+        p2m.check_bijective()
+        allocator.check_invariants()

@@ -1,0 +1,84 @@
+"""Unit tests for frames, extents, and content sentinels."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory import Extent, MachineMemory
+
+
+class TestExtent:
+    def test_basic_properties(self):
+        e = Extent(10, 5)
+        assert e.end == 15
+        assert e.nbytes == 5 * 4096
+        assert list(e) == [10, 11, 12, 13, 14]
+
+    def test_contains(self):
+        e = Extent(10, 5)
+        assert e.contains(10) and e.contains(14)
+        assert not e.contains(9) and not e.contains(15)
+
+    def test_overlaps(self):
+        assert Extent(0, 10).overlaps(Extent(5, 10))
+        assert not Extent(0, 10).overlaps(Extent(10, 5))
+
+    def test_invalid_extents(self):
+        with pytest.raises(MemoryError_):
+            Extent(-1, 5)
+        with pytest.raises(MemoryError_):
+            Extent(0, 0)
+
+    def test_ordering_by_start(self):
+        assert sorted([Extent(5, 1), Extent(1, 2)])[0].start == 1
+
+
+class TestMachineMemory:
+    def test_total_bytes(self):
+        mem = MachineMemory(256)
+        assert mem.total_bytes == 256 * 4096
+
+    def test_zero_pages_rejected(self):
+        with pytest.raises(MemoryError_):
+            MachineMemory(0)
+
+    def test_token_roundtrip(self):
+        mem = MachineMemory(100)
+        mem.write_token(42, "hello")
+        assert mem.read_token(42) == "hello"
+        assert mem.read_token(43) is None
+
+    def test_mfn_bounds_checked(self):
+        mem = MachineMemory(100)
+        with pytest.raises(MemoryError_):
+            mem.write_token(100, "x")
+        with pytest.raises(MemoryError_):
+            mem.read_token(-1)
+
+    def test_scrub_clears_tokens_in_extent_only(self):
+        mem = MachineMemory(100)
+        mem.write_token(5, "keep")
+        mem.write_token(50, "gone")
+        mem.scrub(Extent(40, 20))
+        assert mem.read_token(5) == "keep"
+        assert mem.read_token(50) is None
+
+    def test_scrub_large_extent_sparse_path(self):
+        mem = MachineMemory(1_000_000)
+        mem.write_token(3, "keep")
+        mem.write_token(500_000, "gone")
+        mem.scrub(Extent(100, 999_000))  # larger than token count: sparse path
+        assert mem.read_token(3) == "keep"
+        assert mem.read_token(500_000) is None
+
+    def test_scrub_out_of_range_rejected(self):
+        mem = MachineMemory(100)
+        with pytest.raises(MemoryError_):
+            mem.scrub(Extent(90, 20))
+
+    def test_lose_contents(self):
+        mem = MachineMemory(100)
+        mem.write_token(1, "a")
+        mem.write_token(2, "b")
+        mem.lose_contents()
+        assert mem.read_token(1) is None
+        assert mem.written_count() == 0

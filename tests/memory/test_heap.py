@@ -1,0 +1,105 @@
+"""Unit tests for the VMM heap and leak accounting."""
+
+import pytest
+
+from repro.errors import MemoryError_, OutOfMemoryError
+from repro.memory import VmmHeap
+from repro.units import mib
+
+
+class TestAllocation:
+    def test_allocate_and_release(self):
+        heap = VmmHeap(mib(16))
+        a = heap.allocate(1000, tag="domain")
+        assert heap.live_bytes == 1000
+        heap.release(a)
+        assert heap.live_bytes == 0
+
+    def test_exhaustion_raises(self):
+        heap = VmmHeap(100)
+        heap.allocate(80)
+        with pytest.raises(OutOfMemoryError):
+            heap.allocate(30)
+
+    def test_double_free_raises(self):
+        heap = VmmHeap(100)
+        a = heap.allocate(10)
+        heap.release(a)
+        with pytest.raises(MemoryError_):
+            heap.release(a)
+
+    def test_zero_alloc_rejected(self):
+        with pytest.raises(MemoryError_):
+            VmmHeap(100).allocate(0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(MemoryError_):
+            VmmHeap(0)
+
+    def test_high_watermark(self):
+        heap = VmmHeap(100)
+        a = heap.allocate(60)
+        heap.release(a)
+        heap.allocate(10)
+        assert heap.high_watermark == 60
+
+
+class TestLeaks:
+    def test_leak_moves_bytes_permanently(self):
+        heap = VmmHeap(100)
+        a = heap.allocate(30)
+        heap.leak(a)
+        assert heap.live_bytes == 0
+        assert heap.leaked_bytes == 30
+        assert heap.available_bytes == 70
+
+    def test_leaked_allocation_cannot_be_released(self):
+        heap = VmmHeap(100)
+        a = heap.allocate(30)
+        heap.leak(a)
+        with pytest.raises(MemoryError_):
+            heap.release(a)
+
+    def test_leak_bytes_accumulates(self):
+        heap = VmmHeap(100)
+        heap.leak_bytes(10)
+        heap.leak_bytes(20)
+        assert heap.leaked_bytes == 30
+
+    def test_leak_bytes_clamps_at_capacity(self):
+        heap = VmmHeap(100)
+        heap.leak_bytes(250)
+        assert heap.leaked_bytes == 100
+        with pytest.raises(OutOfMemoryError):
+            heap.allocate(1)
+
+    def test_negative_leak_rejected(self):
+        with pytest.raises(MemoryError_):
+            VmmHeap(100).leak_bytes(-1)
+
+    def test_leaks_starve_allocations(self):
+        """The aging mechanism: leaks eventually break allocation (§2)."""
+        heap = VmmHeap(100)
+        for _ in range(9):
+            heap.leak_bytes(10)
+        heap.allocate(10)  # exactly fits
+        with pytest.raises(OutOfMemoryError):
+            heap.allocate(1)
+
+    def test_utilization(self):
+        heap = VmmHeap(100)
+        heap.allocate(25)
+        heap.leak_bytes(25)
+        assert heap.utilization == pytest.approx(0.5)
+
+
+class TestReset:
+    def test_reset_clears_leaks_and_live(self):
+        """Rejuvenation premise: a VMM reboot resets the heap completely."""
+        heap = VmmHeap(100)
+        heap.allocate(40)
+        heap.leak_bytes(50)
+        heap.reset()
+        assert heap.used_bytes == 0
+        assert heap.available_bytes == 100
+        heap.allocate(100)  # full capacity available again

@@ -1,0 +1,152 @@
+"""Unit and property tests for P2M mapping tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import P2MError
+from repro.memory import Extent, P2MTable, table_bytes_for
+from repro.units import GiB, MiB, PAGE_SIZE, pages
+
+
+class TestMapping:
+    def test_map_and_translate(self):
+        p2m = P2MTable("dom1", 100)
+        p2m.map_extent(0, Extent(500, 100))
+        assert p2m.mfn_of(0) == 500
+        assert p2m.mfn_of(99) == 599
+
+    def test_unmapped_pfn_raises(self):
+        p2m = P2MTable("dom1", 100)
+        with pytest.raises(P2MError):
+            p2m.mfn_of(0)
+
+    def test_pfn_out_of_range(self):
+        p2m = P2MTable("dom1", 100)
+        with pytest.raises(P2MError):
+            p2m.mfn_of(100)
+        with pytest.raises(P2MError):
+            p2m.map_extent(90, Extent(0, 20))
+
+    def test_double_map_rejected(self):
+        p2m = P2MTable("dom1", 100)
+        p2m.map_extent(0, Extent(500, 50))
+        with pytest.raises(P2MError):
+            p2m.map_extent(40, Extent(700, 20))
+
+    def test_is_mapped(self):
+        p2m = P2MTable("dom1", 10)
+        p2m.map_extent(2, Extent(100, 3))
+        assert not p2m.is_mapped(1)
+        assert p2m.is_mapped(2) and p2m.is_mapped(4)
+        assert not p2m.is_mapped(5)
+        assert not p2m.is_mapped(99)
+
+    def test_zero_size_table_rejected(self):
+        with pytest.raises(P2MError):
+            P2MTable("dom1", 0)
+
+
+class TestUnmap:
+    def test_unmap_returns_machine_extents(self):
+        p2m = P2MTable("dom1", 100)
+        p2m.map_extent(0, Extent(500, 50))
+        p2m.map_extent(50, Extent(900, 50))
+        released = p2m.unmap_range(40, 20)
+        assert released == [Extent(540, 10), Extent(900, 10)]
+        assert not p2m.is_mapped(45)
+
+    def test_unmap_unmapped_rejected(self):
+        p2m = P2MTable("dom1", 100)
+        with pytest.raises(P2MError):
+            p2m.unmap_range(0, 10)
+
+    def test_unmap_out_of_range(self):
+        p2m = P2MTable("dom1", 100)
+        with pytest.raises(P2MError):
+            p2m.unmap_range(95, 10)
+
+
+class TestMachineExtents:
+    def test_coalesces_contiguous(self):
+        p2m = P2MTable("dom1", 100)
+        p2m.map_extent(0, Extent(500, 50))
+        p2m.map_extent(50, Extent(550, 50))  # contiguous machine memory
+        assert p2m.machine_extents() == [Extent(500, 100)]
+
+    def test_reports_disjoint_runs(self):
+        p2m = P2MTable("dom1", 100)
+        p2m.map_extent(0, Extent(500, 50))
+        p2m.map_extent(50, Extent(900, 50))
+        assert p2m.machine_extents() == [Extent(500, 50), Extent(900, 50)]
+
+    def test_empty_table(self):
+        assert P2MTable("dom1", 10).machine_extents() == []
+
+
+class TestFootprint:
+    def test_2mib_per_gib(self):
+        """The paper's stated table size: 2 MB per 1 GB of memory (§4.1)."""
+        p2m = P2MTable("dom1", pages(1 * GiB))
+        assert p2m.table_bytes == 2 * MiB
+        assert table_bytes_for(1 * GiB) == 2 * MiB
+
+    def test_footprint_scales(self):
+        assert table_bytes_for(11 * GiB) == 22 * MiB
+
+
+class TestSnapshot:
+    def test_roundtrip(self):
+        p2m = P2MTable("dom1", 100)
+        p2m.map_extent(10, Extent(500, 30))
+        snap = p2m.snapshot()
+        restored = P2MTable.from_snapshot("dom1", snap)
+        assert restored.mfn_of(10) == 500
+        assert restored.machine_extents() == p2m.machine_extents()
+
+    def test_snapshot_is_frozen_copy(self):
+        p2m = P2MTable("dom1", 100)
+        p2m.map_extent(0, Extent(500, 10))
+        snap = p2m.snapshot()
+        p2m.unmap_range(0, 10)
+        assert int(snap[0]) == 500  # unaffected by later mutation
+        with pytest.raises((ValueError, RuntimeError)):
+            snap[0] = 0
+
+    def test_bijectivity_check(self):
+        p2m = P2MTable("dom1", 100)
+        p2m.map_extent(0, Extent(500, 10))
+        p2m.check_bijective()
+        # Corrupt the table directly to simulate a VMM bug.
+        p2m._table[1] = p2m._table[0]
+        with pytest.raises(P2MError):
+            p2m.check_bijective()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    segments=st.lists(
+        st.integers(min_value=1, max_value=32), min_size=1, max_size=10
+    )
+)
+def test_p2m_extent_replay_is_lossless(segments):
+    """Property: mapping arbitrary disjoint machine extents and reading back
+    machine_extents() conserves exactly the set of machine pages — the
+    quick-reload replay path cannot lose or invent pages."""
+    total = sum(segments)
+    p2m = P2MTable("d", total)
+    pfn = 0
+    mfn = 0
+    expected_pages = set()
+    for i, seg in enumerate(segments):
+        gap = 5  # leave machine gaps so extents stay disjoint
+        extent = Extent(mfn, seg)
+        p2m.map_extent(pfn, extent)
+        expected_pages.update(range(extent.start, extent.end))
+        pfn += seg
+        mfn += seg + gap
+    replayed = set()
+    for extent in p2m.machine_extents():
+        replayed.update(range(extent.start, extent.end))
+    assert replayed == expected_pages
+    p2m.check_bijective()

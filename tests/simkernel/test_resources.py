@@ -1,0 +1,172 @@
+"""Unit tests for queued resources and stores."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkernel import Resource, Simulator, Store
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+    def test_single_slot_serializes(self, sim):
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def user(sim, name, hold):
+            with res.request() as req:
+                yield req
+                log.append((name, "in", sim.now))
+                yield sim.timeout(hold)
+                log.append((name, "out", sim.now))
+
+        sim.spawn(user(sim, "a", 2.0))
+        sim.spawn(user(sim, "b", 1.0))
+        sim.run()
+        assert log == [
+            ("a", "in", 0.0),
+            ("a", "out", 2.0),
+            ("b", "in", 2.0),
+            ("b", "out", 3.0),
+        ]
+
+    def test_capacity_two_allows_parallel(self, sim):
+        res = Resource(sim, capacity=2)
+        done = []
+
+        def user(sim, name):
+            with res.request() as req:
+                yield req
+                yield sim.timeout(1.0)
+                done.append((name, sim.now))
+
+        for name in "abc":
+            sim.spawn(user(sim, name))
+        sim.run()
+        assert done == [("a", 1.0), ("b", 1.0), ("c", 2.0)]
+
+    def test_count_and_queued(self, sim):
+        res = Resource(sim, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        assert res.count == 1
+        assert res.queued == 1
+        res.release(r1)
+        assert r2.triggered
+
+    def test_release_is_idempotent(self, sim):
+        res = Resource(sim, capacity=1)
+        r = res.request()
+        res.release(r)
+        res.release(r)
+        assert res.count == 0
+
+    def test_cancel_waiting_request(self, sim):
+        res = Resource(sim, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        r2.cancel()
+        res.release(r1)
+        assert not r2.triggered
+        assert res.count == 0
+
+    def test_priority_beats_fifo(self, sim):
+        res = Resource(sim, capacity=1)
+        granted = []
+        holder = res.request()
+        low = res.request(priority=5)
+        high = res.request(priority=1)
+        low.add_callback(lambda e: granted.append("low"))
+        high.add_callback(lambda e: granted.append("high"))
+        res.release(holder)
+        sim.run()
+        assert granted == ["high"]
+        res.release(high)
+        sim.run()
+        assert granted == ["high", "low"]
+
+    def test_context_manager_releases_on_interrupt(self, sim):
+        from repro.simkernel import Interrupt
+
+        res = Resource(sim, capacity=1)
+
+        def holder(sim):
+            with res.request() as req:
+                yield req
+                try:
+                    yield sim.timeout(100)
+                except Interrupt:
+                    pass
+
+        p = sim.spawn(holder(sim))
+
+        def interrupter(sim):
+            yield sim.timeout(1)
+            p.interrupt()
+
+        sim.spawn(interrupter(sim))
+        sim.run()
+        assert res.count == 0
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("x")
+        got = store.get()
+        assert got.triggered and got.value == "x"
+
+    def test_get_waits_for_put(self, sim):
+        store = Store(sim)
+
+        def consumer(sim):
+            item = yield store.get()
+            return (item, sim.now)
+
+        p = sim.spawn(consumer(sim))
+        sim.call_in(2.0, lambda: store.put("late"))
+        assert sim.run(p) == ("late", 2.0)
+
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        for i in range(3):
+            store.put(i)
+        assert [store.get().value for _ in range(3)] == [0, 1, 2]
+
+    def test_getters_fifo(self, sim):
+        store = Store(sim)
+        results = []
+
+        def consumer(sim, name):
+            item = yield store.get()
+            results.append((name, item))
+
+        sim.spawn(consumer(sim, "first"))
+        sim.spawn(consumer(sim, "second"))
+        sim.run(until=1)
+        store.put("a")
+        store.put("b")
+        sim.run()
+        assert results == [("first", "a"), ("second", "b")]
+
+    def test_len_and_items(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.items == [1, 2]
+
+    def test_cancel_get(self, sim):
+        store = Store(sim)
+        ev = store.get()
+        store.cancel_get(ev)
+        store.put("x")
+        assert not ev.triggered
+        assert len(store) == 1

@@ -1,0 +1,183 @@
+"""Unit tests for the fluid processor-sharing pool."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkernel import SharedPool, Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+def run_jobs(sim, pool, jobs):
+    """Submit (start_time, work) jobs; return dict job_index -> finish time."""
+    finish = {}
+
+    def submit(sim, index, start, work):
+        if start:
+            yield sim.timeout(start)
+        yield pool.execute(work)
+        finish[index] = sim.now
+
+    for i, (start, work) in enumerate(jobs):
+        sim.spawn(submit(sim, i, start, work))
+    sim.run()
+    return finish
+
+
+class TestSingleJob:
+    def test_one_job_full_cap_rate(self, sim):
+        pool = SharedPool(sim, capacity=4, per_job_cap=1.0)
+        finish = run_jobs(sim, pool, [(0, 10.0)])
+        assert finish[0] == pytest.approx(10.0)
+
+    def test_uncapped_job_uses_whole_pool(self, sim):
+        pool = SharedPool(sim, capacity=4, per_job_cap=None)
+        finish = run_jobs(sim, pool, [(0, 10.0)])
+        assert finish[0] == pytest.approx(2.5)
+
+    def test_zero_work_completes_immediately(self, sim):
+        pool = SharedPool(sim, capacity=1)
+        ev = pool.execute(0)
+        assert ev.triggered
+
+    def test_negative_work_rejected(self, sim):
+        pool = SharedPool(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            pool.execute(-1)
+
+    def test_invalid_capacity_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            SharedPool(sim, capacity=0)
+
+
+class TestContention:
+    def test_jobs_within_capacity_do_not_interfere(self, sim):
+        # 4 cores, 3 single-threaded jobs: all run at rate 1.
+        pool = SharedPool(sim, capacity=4, per_job_cap=1.0)
+        finish = run_jobs(sim, pool, [(0, 5.0)] * 3)
+        assert all(t == pytest.approx(5.0) for t in finish.values())
+
+    def test_oversubscription_slows_everyone(self, sim):
+        # 2 cores, 4 jobs of 1 core-second: rate 0.5 each -> 2 seconds.
+        pool = SharedPool(sim, capacity=2, per_job_cap=1.0)
+        finish = run_jobs(sim, pool, [(0, 1.0)] * 4)
+        assert all(t == pytest.approx(2.0) for t in finish.values())
+
+    def test_rate_recovers_when_jobs_finish(self, sim):
+        # 1 core: two jobs of 1 core-s. Both at 0.5 until t=2; both done at 2.
+        # Then a third arriving at t=2 runs alone.
+        pool = SharedPool(sim, capacity=1, per_job_cap=1.0)
+        finish = run_jobs(sim, pool, [(0, 1.0), (0, 1.0), (2.0, 1.0)])
+        assert finish[0] == pytest.approx(2.0)
+        assert finish[1] == pytest.approx(2.0)
+        assert finish[2] == pytest.approx(3.0)
+
+    def test_late_arrival_shares_fairly(self, sim):
+        # 1 core. Job A: 2 units at t=0. Job B: 1 unit at t=1.
+        # t in [0,1): A alone, rate 1, A has 1 left at t=1.
+        # t >= 1: both at 0.5. A needs 2 more sec, B needs 2 sec. Both end t=3.
+        pool = SharedPool(sim, capacity=1, per_job_cap=1.0)
+        finish = run_jobs(sim, pool, [(0, 2.0), (1.0, 1.0)])
+        assert finish[0] == pytest.approx(3.0)
+        assert finish[1] == pytest.approx(3.0)
+
+    def test_weighted_shares(self, sim):
+        # Capacity 1, uncapped; weights 3:1 -> rates 0.75 / 0.25.
+        pool = SharedPool(sim, capacity=1, per_job_cap=None)
+        finish = {}
+
+        def submit(sim, index, work, weight):
+            yield pool.execute(work, weight=weight)
+            finish[index] = sim.now
+
+        sim.spawn(submit(sim, 0, 0.75, 3.0))
+        sim.spawn(submit(sim, 1, 0.25, 1.0))
+        sim.run()
+        assert finish[0] == pytest.approx(1.0)
+        assert finish[1] == pytest.approx(1.0)
+
+    def test_active_jobs_counter(self, sim):
+        pool = SharedPool(sim, capacity=2)
+        pool.execute(10)
+        pool.execute(10)
+        assert pool.active_jobs == 2
+        assert pool.current_rate() == pytest.approx(1.0)
+
+
+class TestPerJobCaps:
+    def test_job_cap_limits_rate(self, sim):
+        pool = SharedPool(sim, capacity=4, per_job_cap=1.0)
+        done = pool.execute(1.0, cap=0.25)
+        sim.run(done)
+        assert sim.now == pytest.approx(4.0)
+
+    def test_cap_tighter_than_share_wins(self, sim):
+        # Two jobs on 1 unit of capacity: share 0.5 each; cap 0.1 beats it.
+        pool = SharedPool(sim, capacity=1, per_job_cap=None)
+        capped = pool.execute(0.1, cap=0.1)
+        free = pool.execute(0.5)
+        sim.run(sim.all_of([capped, free]))
+        # capped runs at 0.1 for 1 s; free at 0.5 (its share) then finishes.
+        assert sim.now == pytest.approx(1.0)
+
+    def test_share_tighter_than_cap_wins(self, sim):
+        pool = SharedPool(sim, capacity=1, per_job_cap=None)
+        finish = {}
+
+        def submit(sim, name, work, cap):
+            yield pool.execute(work, cap=cap)
+            finish[name] = sim.now
+
+        sim.spawn(submit(sim, "a", 0.5, 10.0))
+        sim.spawn(submit(sim, "b", 0.5, 10.0))
+        sim.run()
+        assert finish["a"] == pytest.approx(1.0)  # share 0.5 governed
+
+    def test_invalid_cap_rejected(self, sim):
+        pool = SharedPool(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            pool.execute(1.0, cap=0)
+
+    def test_cap_is_not_work_conserving(self, sim):
+        """A capped job stays capped even on an idle pool — Xen credit
+        cap semantics."""
+        pool = SharedPool(sim, capacity=8, per_job_cap=None)
+        done = pool.execute(2.0, cap=0.5)
+        sim.run(done)
+        assert sim.now == pytest.approx(4.0)
+
+
+class TestCancellation:
+    def test_cancel_active_job(self, sim):
+        pool = SharedPool(sim, capacity=1)
+        ev = pool.execute(10)
+        pool.cancel(ev)
+        sim.run()
+        assert not ev.ok
+        assert pool.active_jobs == 0
+
+    def test_cancel_frees_capacity_for_others(self, sim):
+        pool = SharedPool(sim, capacity=1, per_job_cap=1.0)
+        victim = pool.execute(10.0)
+        survivor = pool.execute(2.0)
+
+        def canceller(sim):
+            yield sim.timeout(1.0)
+            pool.cancel(victim)
+
+        sim.spawn(canceller(sim))
+        sim.run(survivor)
+        # survivor: rate 0.5 for 1s (0.5 done), then rate 1 for the
+        # remaining 1.5 units -> finishes at t=2.5.
+        assert sim.now == pytest.approx(2.5)
+
+    def test_drain_fails_all(self, sim):
+        pool = SharedPool(sim, capacity=4)
+        events = [pool.execute(5) for _ in range(3)]
+        pool.drain()
+        sim.run()
+        assert all(not ev.ok for ev in events)
+        assert pool.active_jobs == 0

@@ -1,0 +1,117 @@
+"""Unit tests for trace records and the tracer query API."""
+
+import pytest
+
+from repro.simkernel import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestRecording:
+    def test_record_stamps_time(self, sim):
+        sim.run(until=4.5)
+        rec = sim.trace.record("x.y", a=1)
+        assert rec.time == 4.5
+        assert rec.kind == "x.y"
+        assert rec["a"] == 1
+
+    def test_get_with_default(self, sim):
+        rec = sim.trace.record("k")
+        assert rec.get("missing", "dflt") == "dflt"
+
+    def test_len_and_iter(self, sim):
+        for i in range(3):
+            sim.trace.record("k", i=i)
+        assert len(sim.trace) == 3
+        assert [r["i"] for r in sim.trace] == [0, 1, 2]
+
+    def test_clear(self, sim):
+        sim.trace.record("k")
+        sim.trace.clear()
+        assert len(sim.trace) == 0
+
+
+class TestQueries:
+    @pytest.fixture()
+    def traced(self, sim):
+        sim.trace.record("svc.up", name="ssh")
+        sim.run(until=10)
+        sim.trace.record("svc.down", name="ssh")
+        sim.trace.record("svc.down", name="web")
+        sim.run(until=20)
+        sim.trace.record("svc.up", name="web")
+        sim.trace.record("vmm.reboot")
+        return sim
+
+    def test_prefix_select(self, traced):
+        assert len(traced.trace.select("svc.")) == 4
+        assert len(traced.trace.select("vmm.")) == 1
+
+    def test_field_filter(self, traced):
+        assert len(traced.trace.select("svc.", name="ssh")) == 2
+
+    def test_time_window(self, traced):
+        assert len(traced.trace.select("svc.", since=5, until=15)) == 2
+
+    def test_first_and_last(self, traced):
+        assert traced.trace.first("svc.").fields["name"] == "ssh"
+        assert traced.trace.last("svc.").fields["name"] == "web"
+        assert traced.trace.first("nothing.") is None
+        assert traced.trace.last("nothing.") is None
+
+    def test_times(self, traced):
+        assert traced.trace.times("svc.down") == [10, 10]
+
+    def test_subscribe_live(self, sim):
+        seen = []
+        sim.trace.subscribe("net.", lambda r: seen.append(r.kind))
+        sim.trace.record("net.tx")
+        sim.trace.record("disk.read")
+        sim.trace.record("net.rx")
+        assert seen == ["net.tx", "net.rx"]
+
+
+class TestRandomStreams:
+    def test_same_seed_same_sequence(self):
+        from repro.simkernel import RandomStreams
+
+        a = RandomStreams(42).stream("disk")
+        b = RandomStreams(42).stream("disk")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_are_independent(self):
+        from repro.simkernel import RandomStreams
+
+        streams = RandomStreams(42)
+        first = streams.stream("a").random()
+        # Drawing from another stream must not perturb "a".
+        streams.stream("b").random()
+        streams2 = RandomStreams(42)
+        streams2.stream("a").random()
+        second_run_next = streams2.stream("a").random()
+        assert streams.stream("a").random() == second_run_next
+        assert first != second_run_next
+
+    def test_jitter_zero_fraction_is_exact(self):
+        from repro.simkernel import RandomStreams
+
+        assert RandomStreams(1).jitter("x", 5.0, 0.0) == 5.0
+
+    def test_jitter_bounds(self):
+        from repro.simkernel import RandomStreams
+
+        streams = RandomStreams(7)
+        for _ in range(100):
+            v = streams.jitter("x", 10.0, 0.2)
+            assert 8.0 <= v <= 12.0
+
+    def test_spawn_children_differ(self):
+        from repro.simkernel import RandomStreams
+
+        parent = RandomStreams(3)
+        c1 = parent.spawn("host1").stream("s").random()
+        c2 = parent.spawn("host2").stream("s").random()
+        assert c1 != c2

@@ -1,0 +1,123 @@
+"""Unit tests for configuration profiles and validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    BiosSpec,
+    CpuSpec,
+    DiskSpec,
+    Dom0Spec,
+    MemorySpec,
+    QuirkSpec,
+    TimingProfile,
+    paper_testbed,
+    small_testbed,
+)
+from repro.errors import ConfigError
+from repro.units import GiB, MiB, gib
+
+
+class TestValidation:
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            CpuSpec(cores=0)
+
+    def test_negative_seek_rejected(self):
+        with pytest.raises(ConfigError):
+            DiskSpec(seek_s=-1)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ConfigError):
+            DiskSpec(read_bw=0)
+
+    def test_dom0_memory_must_fit(self):
+        with pytest.raises(ConfigError):
+            TimingProfile(
+                memory=MemorySpec(total_bytes=gib(1)),
+                dom0=Dom0Spec(memory_bytes=gib(2)),
+            )
+
+    def test_jitter_fraction_range(self):
+        with pytest.raises(ConfigError):
+            TimingProfile(jitter_fraction=1.0)
+        with pytest.raises(ConfigError):
+            TimingProfile(jitter_fraction=-0.1)
+
+    def test_quirk_factor_range(self):
+        with pytest.raises(ConfigError):
+            QuirkSpec(post_create_network_factor=0)
+        with pytest.raises(ConfigError):
+            QuirkSpec(post_create_network_factor=1.5)
+
+    def test_profiles_are_frozen(self):
+        profile = paper_testbed()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            profile.jitter_fraction = 0.5  # type: ignore[misc]
+
+
+class TestPaperTestbed:
+    def test_matches_paper_hardware(self):
+        profile = paper_testbed()
+        assert profile.cpu.cores == 4  # two Dual-Core Opterons
+        assert profile.memory.total_bytes == 12 * GiB
+        assert profile.dom0.memory_bytes == 512 * MiB
+        assert profile.vmm.heap_bytes == 16 * MiB  # Xen default heap
+
+    def test_reset_hw_calibration(self):
+        """BIOS POST for 12 GB must land on the paper's reset_hw = 47 s."""
+        profile = paper_testbed()
+        reset = profile.bios.reset_duration(profile.memory.total_bytes)
+        assert reset == pytest.approx(47.0, abs=0.5)
+
+    def test_reset_scales_with_memory(self):
+        bios = BiosSpec()
+        assert bios.reset_duration(24 * GiB) > bios.reset_duration(12 * GiB)
+
+    def test_p2m_footprint_is_2mib_per_gib(self):
+        profile = paper_testbed()
+        assert profile.vmm.p2m_bytes_per_gib == 2 * MiB
+
+    def test_overrides(self):
+        profile = paper_testbed(cpu=CpuSpec(cores=8))
+        assert profile.cpu.cores == 8
+
+    def test_replace(self):
+        profile = paper_testbed().replace(jitter_fraction=0.05)
+        assert profile.jitter_fraction == 0.05
+
+    def test_small_testbed_is_smaller(self):
+        small = small_testbed()
+        big = paper_testbed()
+        assert small.memory.total_bytes < big.memory.total_bytes
+        assert small.cpu.cores < big.cpu.cores
+
+
+class TestUnits:
+    def test_pages_rounds_up(self):
+        from repro.units import PAGE_SIZE, pages
+
+        assert pages(1) == 1
+        assert pages(PAGE_SIZE) == 1
+        assert pages(PAGE_SIZE + 1) == 2
+
+    def test_gib_mib(self):
+        from repro.units import gib, mib
+
+        assert gib(1) == 1024 * mib(1)
+
+    def test_fmt_bytes(self):
+        from repro.units import fmt_bytes
+
+        assert fmt_bytes(512) == "512 B"
+        assert "KiB" in fmt_bytes(2048)
+        assert "GiB" in fmt_bytes(3 * GiB)
+
+    def test_fmt_duration(self):
+        from repro.units import fmt_duration
+
+        assert fmt_duration(5) == "5s"
+        assert fmt_duration(65) == "1m 05.0s"
+        assert "h" in fmt_duration(3700)
+        assert fmt_duration(-5) == "-5s"

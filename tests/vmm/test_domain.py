@@ -1,0 +1,88 @@
+"""Unit tests for the domain state machine and record."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.units import gib, mib, pages
+from repro.vmm import Domain, DomainState
+
+
+def make_domain(name="vm1", memory=gib(1)):
+    return Domain(1, name, memory)
+
+
+class TestConstruction:
+    def test_starts_building(self):
+        assert make_domain().state is DomainState.BUILDING
+
+    def test_zero_memory_rejected(self):
+        with pytest.raises(DomainError):
+            Domain(1, "x", 0)
+
+    def test_zero_vcpus_rejected(self):
+        with pytest.raises(DomainError):
+            Domain(1, "x", mib(256), vcpus=0)
+
+    def test_p2m_sized_to_memory(self):
+        domain = make_domain(memory=gib(2))
+        assert domain.p2m.pseudo_physical_pages == pages(gib(2))
+
+    def test_default_devices(self):
+        assert make_domain().devices.descriptor() == ["vbd0", "vif0"]
+
+    def test_dom0_flag(self):
+        dom0 = Domain(0, "Domain-0", mib(512), privileged=True)
+        assert dom0.is_dom0
+        assert not make_domain().is_dom0
+
+
+class TestStateMachine:
+    def test_normal_lifecycle(self):
+        domain = make_domain()
+        domain.transition(DomainState.RUNNING)
+        domain.transition(DomainState.SHUTTING_DOWN)
+        domain.transition(DomainState.SHUTDOWN)
+        domain.transition(DomainState.DEAD)
+
+    def test_suspend_resume_cycle(self):
+        domain = make_domain()
+        domain.transition(DomainState.RUNNING)
+        domain.transition(DomainState.SUSPENDING)
+        domain.transition(DomainState.SUSPENDED)
+        domain.transition(DomainState.RUNNING)
+        assert domain.is_running
+
+    def test_illegal_transition_rejected(self):
+        domain = make_domain()
+        with pytest.raises(DomainError):
+            domain.transition(DomainState.SUSPENDED)  # BUILDING -> SUSPENDED
+
+    def test_resume_without_suspend_rejected(self):
+        domain = make_domain()
+        domain.transition(DomainState.RUNNING)
+        domain.transition(DomainState.SHUTTING_DOWN)
+        with pytest.raises(DomainError):
+            domain.transition(DomainState.RUNNING)
+
+    def test_dead_is_terminal(self):
+        domain = make_domain()
+        domain.transition(DomainState.DEAD)
+        with pytest.raises(DomainError):
+            domain.transition(DomainState.RUNNING)
+
+    def test_require_state(self):
+        domain = make_domain()
+        domain.require_state(DomainState.BUILDING)
+        with pytest.raises(DomainError):
+            domain.require_state(DomainState.RUNNING)
+        domain.require_state(DomainState.BUILDING, DomainState.RUNNING)
+
+
+class TestConfiguration:
+    def test_configuration_snapshot(self):
+        domain = make_domain()
+        config = domain.configuration()
+        assert config["name"] == "vm1"
+        assert config["memory_bytes"] == gib(1)
+        assert config["vcpus"] == 1
+        assert config["devices"] == ["vbd0", "vif0"]

@@ -1,0 +1,124 @@
+"""Unit tests for the credit-scheduler model."""
+
+import pytest
+
+from repro.config import paper_testbed
+from repro.core import RootHammer, VMSpec
+from repro.errors import VMMError
+from repro.hardware import CpuPool
+from repro.simkernel import Simulator
+from repro.units import gib
+from repro.vmm import CreditScheduler, SchedulerParams
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+def make_scheduler(sim, cores=1):
+    from repro.config import CpuSpec
+
+    return CreditScheduler(CpuPool(sim, CpuSpec(cores=cores)))
+
+
+class TestParams:
+    def test_defaults_are_xen_defaults(self):
+        params = SchedulerParams()
+        assert params.weight == 256
+        assert params.cap_cores is None
+
+    def test_validation(self):
+        with pytest.raises(VMMError):
+            SchedulerParams(weight=0)
+        with pytest.raises(VMMError):
+            SchedulerParams(cap_cores=0)
+
+    def test_params_lookup_defaults(self, sim):
+        scheduler = make_scheduler(sim)
+        assert scheduler.params_for("unknown").weight == 256
+
+    def test_remove_domain(self, sim):
+        scheduler = make_scheduler(sim)
+        scheduler.set_params("vm", SchedulerParams(weight=512))
+        scheduler.remove_domain("vm")
+        assert scheduler.params_for("vm").weight == 256
+
+
+class TestScheduling:
+    def test_equal_weights_share_equally(self, sim):
+        scheduler = make_scheduler(sim, cores=1)
+        a = scheduler.execute("a", 1.0)
+        b = scheduler.execute("b", 1.0)
+        sim.run(sim.all_of([a, b]))
+        assert sim.now == pytest.approx(2.0)
+
+    def test_weights_bias_contention(self, sim):
+        """Weight 768 vs 256 on one core: 3:1 rate split."""
+        scheduler = make_scheduler(sim, cores=1)
+        scheduler.set_params("heavy", SchedulerParams(weight=768))
+        scheduler.set_params("light", SchedulerParams(weight=256))
+        done = {}
+
+        def track(name, ev):
+            ev.add_callback(lambda e: done.update({name: sim.now}))
+
+        track("heavy", scheduler.execute("heavy", 0.75))
+        track("light", scheduler.execute("light", 0.25))
+        sim.run()
+        # Rates 0.75 / 0.25: both finish at t=1.
+        assert done["heavy"] == pytest.approx(1.0)
+        assert done["light"] == pytest.approx(1.0)
+
+    def test_cap_limits_even_when_idle(self, sim):
+        """A 0.5-core cap holds even with no contention (non-work-
+        conserving, like Xen's credit cap)."""
+        scheduler = make_scheduler(sim, cores=4)
+        scheduler.set_params("capped", SchedulerParams(cap_cores=0.5))
+        done = scheduler.execute("capped", 1.0)
+        sim.run(done)
+        assert sim.now == pytest.approx(2.0)
+
+    def test_work_accounting(self, sim):
+        scheduler = make_scheduler(sim)
+        scheduler.execute("vm", 1.0)
+        scheduler.execute("vm", 2.0)
+        assert scheduler.work_submitted["vm"] == pytest.approx(3.0)
+
+
+class TestEndToEnd:
+    def test_capped_guest_boots_slower(self):
+        """A CPU cap visibly slows the capped guest's CPU-bound service
+        start (JBoss) relative to an uncapped twin."""
+        def jboss_start_time(cap):
+            rh = RootHammer.started(
+                vms=[
+                    VMSpec(
+                        "vm0",
+                        memory_bytes=gib(1),
+                        services=("jboss",),
+                        cpu_cap_cores=cap,
+                    )
+                ],
+                profile=paper_testbed(),
+            )
+            ups = rh.sim.trace.times("service.up", domain="vm0")
+            starts = rh.sim.trace.times("guest.boot.start", domain="vm0")
+            return ups[0] - starts[0]
+
+        assert jboss_start_time(0.25) > jboss_start_time(None) + 20
+
+    def test_params_survive_warm_reboot(self):
+        rh = RootHammer.started(
+            vms=[VMSpec("vm0", memory_bytes=gib(1), cpu_weight=512)]
+        )
+        assert rh.vmm().scheduler.params_for("vm0").weight == 512
+        rh.rejuvenate("warm")
+        assert rh.vmm().scheduler.params_for("vm0").weight == 512
+
+    def test_params_survive_saved_reboot(self):
+        rh = RootHammer.started(
+            vms=[VMSpec("vm0", memory_bytes=gib(1), cpu_cap_cores=0.75)]
+        )
+        rh.rejuvenate("saved")
+        assert rh.vmm().scheduler.params_for("vm0").cap_cores == 0.75

@@ -1,0 +1,74 @@
+"""Unit tests for xenstore watches."""
+
+import pytest
+
+from repro.vmm import Xenstore
+
+
+class TestWatches:
+    def test_watch_fires_on_write_under_prefix(self):
+        store = Xenstore()
+        seen = []
+        store.watch("/local/domain", seen.append)
+        store.write("/local/domain/1/name", "vm1")
+        store.write("/other", "x")
+        assert seen == ["/local/domain/1/name"]
+
+    def test_watch_fires_on_exact_path(self):
+        store = Xenstore()
+        seen = []
+        store.watch("/flag", seen.append)
+        store.write("/flag", "up")
+        assert seen == ["/flag"]
+
+    def test_watch_fires_on_removal(self):
+        store = Xenstore()
+        store.write("/local/domain/1/name", "vm1")
+        seen = []
+        store.watch("/local/domain/1", seen.append)
+        store.remove("/local/domain/1")
+        assert seen == ["/local/domain/1/name"]
+
+    def test_unwatch_stops_events(self):
+        store = Xenstore()
+        seen = []
+        unwatch = store.watch("/a", seen.append)
+        store.write("/a/x", "1")
+        unwatch()
+        store.write("/a/y", "2")
+        assert seen == ["/a/x"]
+        unwatch()  # idempotent
+
+    def test_multiple_watchers(self):
+        store = Xenstore()
+        first, second = [], []
+        store.watch("/a", first.append)
+        store.watch("/a", second.append)
+        store.write("/a/k", "v")
+        assert first == second == ["/a/k"]
+        assert store.watch_events_fired == 2
+
+    def test_prefix_is_path_component_boundary(self):
+        """/ab must not match a watch on /a."""
+        store = Xenstore()
+        seen = []
+        store.watch("/a", seen.append)
+        store.write("/ab", "x")
+        assert seen == []
+
+    def test_domain_registration_fires_watches(self):
+        """The toolstack pattern: watch /local/domain, see introductions."""
+        store = Xenstore()
+        introduced = []
+        store.watch(
+            "/local/domain",
+            lambda path: introduced.append(path) if path.endswith("/state") else None,
+        )
+        store.register_domain(5, "vm5", 1024)
+        assert introduced == ["/local/domain/5/state"]
+
+    def test_bad_watch_prefix_rejected(self):
+        from repro.errors import XenstoreError
+
+        with pytest.raises(XenstoreError):
+            Xenstore().watch("no-slash", lambda p: None)

@@ -1,0 +1,101 @@
+"""Unit tests for the httperf-like workload generator."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.units import kib
+from repro.workloads import Httperf
+
+from tests.conftest import build_started_host
+
+
+@pytest.fixture()
+def web_host(sim):
+    host = build_started_host(sim, n_vms=1, services=("apache",))
+    guest = host.guest("vm0")
+    paths = guest.filesystem.create_many("/www", 20, kib(512))
+    sim.run(sim.spawn(guest.warm_file_cache(paths)))
+    return host, paths
+
+
+def make_client(sim, host, paths, **kwargs):
+    return Httperf(
+        sim, lambda: host.guest("vm0").service("apache"), paths, **kwargs
+    )
+
+
+class TestValidation:
+    def test_needs_paths(self, sim, web_host):
+        host, _ = web_host
+        with pytest.raises(ReproError):
+            make_client(sim, host, [])
+
+    def test_needs_concurrency(self, sim, web_host):
+        host, paths = web_host
+        with pytest.raises(ReproError):
+            make_client(sim, host, paths, concurrency=0)
+
+    def test_double_start_rejected(self, sim, web_host):
+        host, paths = web_host
+        client = make_client(sim, host, paths).start()
+        with pytest.raises(ReproError):
+            client.start()
+        client.stop()
+
+
+class TestServing:
+    def test_completions_accumulate(self, sim, web_host):
+        host, paths = web_host
+        client = make_client(sim, host, paths, concurrency=2).start()
+        sim.run(until=sim.now + 5)
+        client.stop()
+        assert len(client.completions) > 5
+        assert client.bytes_served == sum(c.nbytes for c in client.completions)
+
+    def test_each_path_once_terminates(self, sim, web_host):
+        host, paths = web_host
+        client = make_client(
+            sim, host, paths, concurrency=4, each_path_once=True
+        ).start()
+        sim.run(client.wait())
+        assert len(client.completions) == len(paths)
+        assert {c.path for c in client.completions} == set(paths)
+        assert client.done
+
+    def test_nic_bound_rate(self, sim, web_host):
+        """Cached 512 KiB files are NIC-bound: ~228 req/s on gigabit."""
+        host, paths = web_host
+        client = make_client(sim, host, paths, concurrency=4).start()
+        sim.run(until=sim.now + 10)
+        client.stop()
+        assert 180 <= client.mean_rate() <= 260
+
+    def test_failures_counted_during_outage(self, sim, web_host):
+        host, paths = web_host
+        guest = host.guest("vm0")
+        client = make_client(sim, host, paths, concurrency=2).start()
+        sim.run(until=sim.now + 2)
+        sim.run(sim.spawn(guest.run_suspend_handler()))
+        sim.run(until=sim.now + 5)
+        assert client.failures > 0
+        sim.run(sim.spawn(guest.run_resume_handler()))
+        count_at_resume = len(client.completions)
+        sim.run(until=sim.now + 2)
+        client.stop()
+        assert len(client.completions) > count_at_resume  # recovered
+
+    def test_mean_rate_empty_window(self, sim, web_host):
+        host, paths = web_host
+        client = make_client(sim, host, paths)
+        assert client.mean_rate() == 0.0
+
+    def test_throughput_timeline_windows(self, sim, web_host):
+        host, paths = web_host
+        client = make_client(sim, host, paths, concurrency=2).start()
+        sim.run(until=sim.now + 10)
+        client.stop()
+        timeline = client.throughput_timeline(window=50)
+        assert timeline
+        assert all(rate > 0 for _, rate in timeline)
+        times = [t for t, _ in timeline]
+        assert times == sorted(times)
