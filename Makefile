@@ -1,0 +1,26 @@
+# Developer entry points.  `make ci` is what the CI job runs: the tier-1
+# test suite plus a perf smoke that fails on >30% regressions against the
+# committed BENCH_PERF.json baseline.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench perf-check perf-write ci
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# Kernel micro-benchmarks + sub-second experiments, guarded against the
+# committed baseline.  Seconds, not a full sweep.
+perf-check:
+	$(PYTHON) benchmarks/perf_report.py --check --smoke
+
+# Full re-measurement (serial + parallel + cached sweep); rewrites the
+# committed baseline.  Run on quiet hardware and commit the result.
+perf-write:
+	$(PYTHON) benchmarks/perf_report.py --write --jobs 4
+
+ci: test perf-check

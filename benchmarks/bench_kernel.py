@@ -1,0 +1,68 @@
+"""Simulation-kernel micro-benchmarks: events/sec and trace records/sec.
+
+Standalone (prints JSON)::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py
+
+The two numbers deliberately exercise the kernel's two hottest paths:
+
+* **events/sec** — a generator process yielding timeouts, measuring the
+  heap, event-state and process-resumption machinery end to end;
+* **records/sec** — ``Tracer.record`` with no subscribers, the
+  always-on instrumentation cost every simulated action pays.
+
+Both are also what ``benchmarks/perf_report.py`` records in
+``BENCH_PERF.json`` and what the CI perf smoke guards against
+regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+
+def bench_event_throughput(n: int = 300_000) -> float:
+    """Events processed per second through a timeout-yielding process."""
+    from repro.simkernel import Simulator
+
+    sim = Simulator()
+
+    def ticker(sim, n):
+        timeout = sim.timeout
+        for _ in range(n):
+            yield timeout(1.0)
+
+    sim.spawn(ticker(sim, n))
+    started = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - started
+    return n / elapsed
+
+
+def bench_trace_throughput(n: int = 1_000_000) -> float:
+    """Trace records per second with no subscribers attached."""
+    from repro.simkernel import Simulator
+
+    sim = Simulator()
+    record = sim.trace.record
+    started = time.perf_counter()
+    for i in range(n):
+        record("bench.tick", value=i)
+    elapsed = time.perf_counter() - started
+    return n / elapsed
+
+
+def measure(repeats: int = 3) -> dict[str, float]:
+    """Best-of-``repeats`` for both micro-benchmarks (max filters out
+    scheduler noise, which only ever slows a run down)."""
+    return {
+        "events_per_sec": max(bench_event_throughput() for _ in range(repeats)),
+        "trace_records_per_sec": max(
+            bench_trace_throughput() for _ in range(repeats)
+        ),
+    }
+
+
+if __name__ == "__main__":
+    print(json.dumps(measure(), indent=2))

@@ -8,11 +8,21 @@ and writes the rendered paper-vs-measured tables to
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _atomic_write_text(path: pathlib.Path, text: str) -> None:
+    """Write via a unique temp file + rename so concurrent writers (e.g.
+    pytest-xdist workers or a parallel sweep touching the same id) each
+    land a complete file instead of interleaved fragments."""
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
 
 
 @pytest.fixture()
@@ -23,7 +33,7 @@ def record_result():
     def save(result) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{result.experiment_id}.txt"
-        path.write_text(result.render() + "\n", encoding="utf-8")
+        _atomic_write_text(path, result.render() + "\n")
         if getattr(result, "rows", None):
             from repro.analysis.export import write_result
 

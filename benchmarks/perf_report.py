@@ -1,0 +1,189 @@
+"""Wall-clock performance report and regression gate.
+
+Writes ``BENCH_PERF.json`` at the repo root (committed, so every change
+to it shows up in review) and checks fresh measurements against it::
+
+    PYTHONPATH=src python benchmarks/perf_report.py --write --jobs 4
+    PYTHONPATH=src python benchmarks/perf_report.py --check --smoke
+
+``--check`` fails (exit 1) when any guarded number regresses by more
+than 30 % against the committed baseline — wall clocks 30 % slower, or
+kernel throughputs 30 % lower.  ``--smoke`` restricts the measurement to
+the kernel micro-benchmarks plus a handful of sub-second experiments so
+CI pays seconds, not a full sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+import typing
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_PERF.json"
+
+# Allow `python benchmarks/perf_report.py` from the repo root: the script
+# dir (benchmarks/) is sys.path[0], the package root is not.
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+SMOKE_IDS = ("FIG2", "FIG4", "FIG5", "SEC53", "EXT-GRANULARITY")
+"""Sub-second experiments: enough to catch a hot-path regression without
+CI paying for the full sweep."""
+
+REGRESSION_SLACK = 1.30
+"""A guarded number may move 30 % in the bad direction before --check fails."""
+
+
+def measure_experiments(ids: typing.Sequence[str]) -> dict[str, float]:
+    """Serial wall clock per experiment id (quick mode)."""
+    from repro.experiments import run_experiment
+
+    timings: dict[str, float] = {}
+    for key in ids:
+        started = time.perf_counter()
+        run_experiment(key)
+        timings[key] = round(time.perf_counter() - started, 3)
+    return timings
+
+
+def measure_run_all(jobs: int) -> dict[str, typing.Any]:
+    """Serial, cold-parallel and cached-parallel full-sweep wall clocks.
+
+    The parallel runs use a throwaway cache directory: "cold" measures a
+    first run that also populates the cache, "cached" the pure-replay
+    re-run — the two ends every real invocation falls between.
+    """
+    from repro.experiments import run_all
+    from repro.experiments.parallel import run_all_parallel
+
+    started = time.perf_counter()
+    run_all()
+    serial_s = time.perf_counter() - started
+
+    tmp = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    old_cache = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = tmp
+    try:
+        started = time.perf_counter()
+        run_all_parallel(jobs=jobs, use_cache=True)
+        cold_s = time.perf_counter() - started
+        started = time.perf_counter()
+        run_all_parallel(jobs=jobs, use_cache=True)
+        cached_s = time.perf_counter() - started
+    finally:
+        if old_cache is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = old_cache
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "jobs": jobs,
+        "serial_s": round(serial_s, 2),
+        "parallel_cold_s": round(cold_s, 2),
+        "parallel_cached_s": round(cached_s, 2),
+    }
+
+
+def measure(smoke: bool, jobs: int) -> dict[str, typing.Any]:
+    from benchmarks.bench_kernel import measure as measure_kernel
+    from repro.experiments import experiment_ids
+
+    report: dict[str, typing.Any] = {
+        "schema": 1,
+        "mode": "smoke" if smoke else "full",
+        "kernel": {k: round(v) for k, v in measure_kernel().items()},
+        "experiments_s": measure_experiments(
+            SMOKE_IDS if smoke else experiment_ids()
+        ),
+    }
+    if not smoke:
+        report["run_all"] = measure_run_all(jobs)
+    return report
+
+
+def check(fresh: dict[str, typing.Any], baseline: dict[str, typing.Any]) -> int:
+    """Compare a fresh measurement to the committed baseline; returns the
+    number of >30 % regressions (and prints each guarded comparison)."""
+    failures = 0
+
+    def guard(label: str, base: float, now: float, higher_is_better: bool) -> None:
+        nonlocal failures
+        if higher_is_better:
+            bad = now * REGRESSION_SLACK < base
+        else:
+            bad = now > base * REGRESSION_SLACK
+        mark = "FAIL" if bad else "ok"
+        print(f"  [{mark}] {label}: baseline {base:g}, now {now:g}")
+        if bad:
+            failures += 1
+
+    for metric, base in baseline.get("kernel", {}).items():
+        now = fresh["kernel"].get(metric)
+        if now is not None:
+            guard(f"kernel {metric}", base, now, higher_is_better=True)
+    for key, base in baseline.get("experiments_s", {}).items():
+        now = fresh["experiments_s"].get(key)
+        if now is not None:
+            guard(f"{key} wall clock (s)", base, now, higher_is_better=False)
+    return failures
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--write", action="store_true",
+                        help="measure and (over)write BENCH_PERF.json")
+    parser.add_argument("--check", action="store_true",
+                        help="measure and compare against BENCH_PERF.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="kernel micro-benchmarks + fast experiments only")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the run_all timing")
+    args = parser.parse_args(argv)
+    if not (args.write or args.check):
+        parser.error("give --write and/or --check")
+
+    fresh = measure(smoke=args.smoke, jobs=args.jobs)
+
+    exit_code = 0
+    if args.check:
+        if not BENCH_PATH.exists():
+            print(f"no baseline at {BENCH_PATH}; run with --write first",
+                  file=sys.stderr)
+            return 2
+        baseline = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+        print(f"perf check vs {BENCH_PATH.name} "
+              f"(slack {REGRESSION_SLACK:.0%}):")
+        failures = check(fresh, baseline)
+        if failures:
+            print(f"{failures} perf regression(s) beyond 30%", file=sys.stderr)
+            exit_code = 1
+        else:
+            print("no perf regressions beyond 30%")
+
+    if args.write:
+        # Keep baseline fields the fresh (possibly smoke-narrowed) run did
+        # not re-measure, so a smoke --write cannot silently drop the
+        # full-sweep numbers.
+        merged = fresh
+        if BENCH_PATH.exists():
+            merged = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+            merged.update({k: v for k, v in fresh.items() if k != "experiments_s"})
+            merged.setdefault("experiments_s", {}).update(fresh["experiments_s"])
+        tmp = BENCH_PATH.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n",
+                       encoding="utf-8")
+        os.replace(tmp, BENCH_PATH)
+        print(f"wrote {BENCH_PATH}")
+
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

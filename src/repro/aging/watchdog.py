@@ -82,19 +82,59 @@ class CrashWatchdog:
         self.poll_interval_s = poll_interval_s
         self.recoveries: list[tuple[float, float]] = []
         """(crash detected at, recovery finished at) pairs."""
+        self._waiter: typing.Any = None
 
     def run(self, until: float) -> typing.Generator:
-        """Poll for a crashed VMM and recover it (a process)."""
+        """Wait for a crashed VMM and recover it (a process).
+
+        Event-driven equivalent of a 10-second poll loop: simulating every
+        idle tick over weeks of simulated time costs ~100k events per
+        simulated week, so the watchdog instead sleeps until a
+        ``vmm.crash`` trace record and then replays the poll-grid float
+        arithmetic to act at the exact tick the polling loop would have
+        noticed the crash on.
+        """
         sim = self.host.sim
-        while sim.now < until:
-            yield sim.timeout(min(self.poll_interval_s, until - sim.now))
+        poll = self.poll_interval_s
+
+        def on_crash(record: typing.Any) -> None:
+            waiter = self._waiter
+            if waiter is not None:
+                self._waiter = None
+                waiter.succeed(record.time)
+
+        sim.trace.subscribe("vmm.crash", on_crash)
+        anchor = sim.now
+        while True:
+            if anchor >= until:
+                return self.recoveries
             vmm = self.host.vmm
             if vmm is None or vmm.state is not VmmState.CRASHED:
-                continue
+                self._waiter = crashed = sim.event(name="watchdog.wake")
+                yield crashed | sim.timeout(until - sim.now)
+                self._waiter = None
+                if sim.now >= until:
+                    return self.recoveries
+                vmm = self.host.vmm
+                if vmm is None or vmm.state is not VmmState.CRASHED:
+                    continue  # already recovered by the time we woke
+            crash_time = sim.now
+            # First poll tick at or after the crash, accumulated with the
+            # same float steps the polling loop would have taken.  A crash
+            # landing exactly on a tick is seen by that tick: the crasher's
+            # own timer predates the poll timer, so it fires first.
+            tick = anchor + min(poll, until - anchor)
+            while tick < crash_time:
+                tick += min(poll, until - tick)
+            if tick >= until:
+                # The polling loop exits at the horizon without acting.
+                return self.recoveries
+            if tick > crash_time:
+                yield sim.timeout(tick - crash_time)
             # Heartbeats must miss for a while before anyone is sure.
             yield sim.timeout(self.detection_timeout_s)
             detected = sim.now
             sim.trace.record("watchdog.detected", host=self.host.name)
             yield from self.host.recover_from_crash()
             self.recoveries.append((detected, sim.now))
-        return self.recoveries
+            anchor = sim.now

@@ -9,6 +9,8 @@ CLI and the benchmark harness both dispatch through it.
 
 from __future__ import annotations
 
+import importlib
+import types
 import typing
 
 from repro.errors import ReproError
@@ -49,21 +51,46 @@ def describe(experiment_id: str) -> str:
         raise ReproError(f"unknown experiment {experiment_id!r}") from None
 
 
+_MODULES: dict[str, types.ModuleType] = {}
+"""Resolved runner modules, keyed by experiment id.  ``importlib`` walks
+``sys.modules`` and the meta path on every call; resolving each runner
+once matters when the parallel runner dispatches thousands of cells."""
+
+
+def runner_module(experiment_id: str) -> types.ModuleType:
+    """The (cached) runner module for an experiment id."""
+    key = experiment_id.upper()
+    module = _MODULES.get(key)
+    if module is None:
+        if key not in _RUNNERS:
+            raise ReproError(
+                f"unknown experiment {experiment_id!r}; known: {', '.join(_RUNNERS)}"
+            )
+        module = importlib.import_module(_RUNNERS[key][0])
+        _MODULES[key] = module
+    return module
+
+
 def run_experiment(experiment_id: str, full: bool = False) -> ExperimentResult:
     """Run one experiment by id (e.g. ``"FIG6"``)."""
-    import importlib
-
-    key = experiment_id.upper()
-    if key not in _RUNNERS:
-        raise ReproError(
-            f"unknown experiment {experiment_id!r}; known: {', '.join(_RUNNERS)}"
-        )
-    module = importlib.import_module(_RUNNERS[key][0])
-    return module.run(full=full)
+    return runner_module(experiment_id).run(full=full)
 
 
-def run_all(full: bool = False) -> dict[str, ExperimentResult]:
-    """Run the whole evaluation section."""
+def run_all(
+    full: bool = False,
+    jobs: int | None = None,
+    use_cache: bool = False,
+) -> dict[str, ExperimentResult]:
+    """Run the whole evaluation section.
+
+    With ``jobs`` > 1 (or ``use_cache``) the sweep is delegated to
+    :mod:`repro.experiments.parallel`, which decomposes experiments into
+    independent cells and fans them across worker processes.
+    """
+    if (jobs is not None and jobs != 1) or use_cache:
+        from repro.experiments.parallel import run_all_parallel
+
+        return run_all_parallel(full=full, jobs=jobs, use_cache=use_cache)
     return {key: run_experiment(key, full=full) for key in _RUNNERS}
 
 

@@ -5,19 +5,26 @@ Usage::
     roothammer-experiments --list
     roothammer-experiments FIG6 SEC52
     roothammer-experiments --all --full
+    python -m repro.experiments.cli run --all --jobs 4
+
+Sweeps run through the parallel cell runner by default: independent
+measurement cells fan across ``--jobs`` worker processes and completed
+cells are memoised in a content-addressed cache (disable with
+``--no-cache``; ``--jobs 1`` executes the same cells in-process).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 import typing
 
+from repro.errors import ReproError
 from repro.experiments import (
     describe,
     experiment_ids,
-    run_experiment,
 )
 
 
@@ -35,7 +42,7 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         nargs="*",
         metavar="ID",
         help="experiment ids (FIG4, FIG5, SEC52, FIG6, SEC53, FIG7, FIG8, "
-        "SEC56, FIG9, FIG2)",
+        "SEC56, FIG9, FIG2); an optional leading 'run' token is accepted",
     )
     parser.add_argument("--all", action="store_true", help="run everything")
     parser.add_argument(
@@ -44,6 +51,23 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         help="use the paper's full sweep sizes (slower)",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the cell sweep (default: all CPUs)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell instead of reusing cached payloads",
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="delete all cached cell payloads and exit",
+    )
     parser.add_argument(
         "--export",
         metavar="DIR",
@@ -56,17 +80,44 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
             print(f"{key:6s} {describe(key)}")
         return 0
 
-    targets = experiment_ids() if args.all else [e.upper() for e in args.experiments]
+    from repro.experiments.parallel import (
+        SweepStats,
+        clear_cache,
+        run_all_parallel,
+    )
+
+    if args.clear_cache:
+        print(f"removed {clear_cache()} cached payload(s)")
+        return 0
+
+    ids = list(args.experiments)
+    if ids and ids[0].lower() == "run":  # `cli run --all --jobs N` quickstart
+        ids = ids[1:]
+    targets = experiment_ids() if args.all else [e.upper() for e in ids]
     if not targets:
         parser.error("give experiment ids, --all, or --list")
 
+    jobs = args.jobs if args.jobs is not None else os.cpu_count() or 1
+    stats = SweepStats()
+    started = time.time()
+    try:
+        results = run_all_parallel(
+            full=args.full,
+            jobs=jobs,
+            use_cache=not args.no_cache,
+            experiments=targets,
+            stats=stats,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.time() - started
+
     failures = 0
     for key in targets:
-        started = time.time()
-        result = run_experiment(key, full=args.full)
-        elapsed = time.time() - started
+        result = results[key]
         print(result.render())
-        print(f"[{key} took {elapsed:.1f}s wall clock]\n")
+        print()
         if args.export:
             from repro.analysis.export import write_result
 
@@ -74,6 +125,11 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
                 print(f"  wrote {path}")
         if not result.shape_reproduced:
             failures += 1
+    print(
+        f"[{len(targets)} experiment(s) in {elapsed:.1f}s wall clock; "
+        f"{stats.total_cells} cells, {stats.cache_hits} cached, "
+        f"{stats.executed} executed, jobs={jobs}]"
+    )
     if failures:
         print(f"{failures} experiment(s) deviated from the paper's shape",
               file=sys.stderr)

@@ -62,6 +62,26 @@ def build_testbed(
     )
 
 
+def run_decomposed(module: typing.Any, full: bool) -> ExperimentResult:
+    """Run a cell-decomposed experiment module serially.
+
+    A decomposed module exposes ``cells(full)`` — a list of
+    ``(key, fn_name, params)`` tuples describing independent measurements
+    on fresh testbeds — and ``assemble(full, payloads)``, which folds the
+    per-cell payloads back into the :class:`ExperimentResult`.  The serial
+    path below and the process-pool path in
+    :mod:`repro.experiments.parallel` execute the *same* cells and the
+    *same* assembly, so serial/parallel equivalence holds by construction:
+    every cell builds its own deterministically-seeded simulator, making
+    its payload independent of which process runs it and in what order.
+    """
+    payloads = {
+        key: getattr(module, fn_name)(**params)
+        for key, fn_name, params in module.cells(full)
+    }
+    return module.assemble(full, payloads)
+
+
 def default_vm_counts(full: bool) -> list[int]:
     """The n-axis of Figures 5 and 6: 1..11 (or a sparse subset)."""
     return list(range(1, 12)) if full else [1, 3, 7, 11]

@@ -23,11 +23,27 @@ single guest's cold OS reboot chain would suggest.
 
 from __future__ import annotations
 
+import sys
+import typing
+
 from repro.analysis.downtime import extract_downtimes
 from repro.analysis.report import ComparisonRow, render_table
-from repro.experiments.common import ExperimentResult, build_testbed
+from repro.experiments.common import (
+    ExperimentResult,
+    build_testbed,
+    run_decomposed,
+)
 
 _VM = "vm00"
+
+_LADDER = (
+    "microreboot",
+    "os+checkpoint",
+    "os",
+    "dom0-only",
+    "warm-vmm",
+    "cold-vmm",
+)
 
 
 def _downtime_of(controller, t0: float) -> float:
@@ -66,20 +82,24 @@ def _measure(action: str) -> float:
     return _downtime_of(controller, t0)
 
 
+def cells(full: bool = False) -> list[tuple[tuple, str, dict]]:
+    """Independent measurement cells for the parallel/serial runners."""
+    return [((action,), "_measure", {"action": action}) for action in _LADDER]
+
+
 def run(full: bool = False) -> ExperimentResult:
     """Measure the downtime ladder across rejuvenation granularities."""
+    return run_decomposed(sys.modules[__name__], full)
+
+
+def assemble(
+    full: bool, payloads: dict[tuple, typing.Any]
+) -> ExperimentResult:
+    """Fold per-cell downtimes into the granularity-ladder result."""
     result = ExperimentResult(
         "EXT-GRANULARITY", "the §7 rejuvenation hierarchy, one testbed"
     )
-    ladder = [
-        "microreboot",
-        "os+checkpoint",
-        "os",
-        "dom0-only",
-        "warm-vmm",
-        "cold-vmm",
-    ]
-    downtimes = {action: _measure(action) for action in ladder}
+    downtimes = {action: payloads[(action,)] for action in _LADDER}
     result.data["downtimes"] = downtimes
     result.tables.append(
         render_table(

@@ -8,22 +8,52 @@ Shutdown/boot is also roughly size-independent but loses all state.
 
 from __future__ import annotations
 
+import sys
+import typing
+
 from repro.analysis.report import ComparisonRow, render_table
 from repro.experiments.common import (
     ExperimentResult,
     build_testbed,
     default_memory_gib,
+    run_decomposed,
 )
 from repro.units import gib
 
+_METHODS = {
+    "on-memory": ("warm", "suspend", "resume"),
+    "xen-save": ("saved", "save", "restore"),
+    "shutdown-boot": ("cold", "guest-shutdown", "guest-boot"),
+}
+_METHOD_ORDER = ("on-memory", "xen-save", "shutdown-boot")
 
-def _phase_pair(controller, strategy, pre, post):
-    report = controller.rejuvenate(strategy)
+
+def measure_cell(size_gib: int, method: str) -> tuple[float, float]:
+    """One (memory size, method) cell: a fresh 1-VM testbed, one reboot;
+    returns the (pre-reboot, post-reboot) task times."""
+    strategy, pre, post = _METHODS[method]
+    report = build_testbed(1, memory_bytes=gib(size_gib)).rejuvenate(strategy)
     return report.phase_duration(pre), report.phase_duration(post)
+
+
+def cells(full: bool = False) -> list[tuple[tuple, str, dict]]:
+    """Independent measurement cells for the parallel/serial runners."""
+    return [
+        ((method, size), "measure_cell", {"size_gib": size, "method": method})
+        for size in default_memory_gib(full)
+        for method in _METHOD_ORDER
+    ]
 
 
 def run(full: bool = False) -> ExperimentResult:
     """Sweep a single VM's memory (1..11 GiB) across the three methods."""
+    return run_decomposed(sys.modules[__name__], full)
+
+
+def assemble(
+    full: bool, payloads: dict[tuple, typing.Any]
+) -> ExperimentResult:
+    """Fold per-cell (pre, post) pairs into the Figure 4 result."""
     sizes = default_memory_gib(full)
     result = ExperimentResult(
         "FIG4", "pre/post-reboot task time vs VM memory size (1 VM)"
@@ -35,18 +65,9 @@ def run(full: bool = False) -> ExperimentResult:
         "shutdown-boot": [],
     }
     for size in sizes:
-        onmem = _phase_pair(
-            build_testbed(1, memory_bytes=gib(size)), "warm", "suspend", "resume"
-        )
-        saved = _phase_pair(
-            build_testbed(1, memory_bytes=gib(size)), "saved", "save", "restore"
-        )
-        cold = _phase_pair(
-            build_testbed(1, memory_bytes=gib(size)),
-            "cold",
-            "guest-shutdown",
-            "guest-boot",
-        )
+        onmem = payloads[("on-memory", size)]
+        saved = payloads[("xen-save", size)]
+        cold = payloads[("shutdown-boot", size)]
         series["on-memory"].append((size, *onmem))
         series["xen-save"].append((size, *saved))
         series["shutdown-boot"].append((size, *cold))

@@ -8,17 +8,52 @@ because parallel boots contend on the disk.
 
 from __future__ import annotations
 
+import sys
+import typing
+
 from repro.analysis.fitting import fit_line
 from repro.analysis.report import ComparisonRow, render_table
 from repro.experiments.common import (
     ExperimentResult,
     build_testbed,
     default_vm_counts,
+    run_decomposed,
 )
+
+_METHODS = {
+    "on-memory": ("warm", "suspend", "resume"),
+    "xen-save": ("saved", "save", "restore"),
+    "shutdown-boot": ("cold", "guest-shutdown", "guest-boot"),
+}
+_METHOD_ORDER = ("on-memory", "xen-save", "shutdown-boot")
+
+
+def measure_cell(n: int, method: str) -> tuple[float, float]:
+    """One (VM count, method) cell: a fresh n-VM testbed, one reboot;
+    returns the (pre-reboot, post-reboot) task times."""
+    strategy, pre, post = _METHODS[method]
+    report = build_testbed(n).rejuvenate(strategy)
+    return report.phase_duration(pre), report.phase_duration(post)
+
+
+def cells(full: bool = False) -> list[tuple[tuple, str, dict]]:
+    """Independent measurement cells for the parallel/serial runners."""
+    return [
+        ((method, n), "measure_cell", {"n": n, "method": method})
+        for n in default_vm_counts(full)
+        for method in _METHOD_ORDER
+    ]
 
 
 def run(full: bool = False) -> ExperimentResult:
     """Sweep 1..11 one-GiB VMs across the three methods."""
+    return run_decomposed(sys.modules[__name__], full)
+
+
+def assemble(
+    full: bool, payloads: dict[tuple, typing.Any]
+) -> ExperimentResult:
+    """Fold per-cell (pre, post) pairs into the Figure 5 result."""
     counts = default_vm_counts(full)
     result = ExperimentResult(
         "FIG5", "pre/post-reboot task time vs number of 1 GiB VMs"
@@ -30,15 +65,9 @@ def run(full: bool = False) -> ExperimentResult:
         "shutdown-boot": [],
     }
     for n in counts:
-        warm = build_testbed(n).rejuvenate("warm")
-        saved = build_testbed(n).rejuvenate("saved")
-        cold = build_testbed(n).rejuvenate("cold")
-        onmem = (warm.phase_duration("suspend"), warm.phase_duration("resume"))
-        xen = (saved.phase_duration("save"), saved.phase_duration("restore"))
-        sb = (
-            cold.phase_duration("guest-shutdown"),
-            cold.phase_duration("guest-boot"),
-        )
+        onmem = payloads[("on-memory", n)]
+        xen = payloads[("xen-save", n)]
+        sb = payloads[("shutdown-boot", n)]
         series["on-memory"].append((n, *onmem))
         series["xen-save"].append((n, *xen))
         series["shutdown-boot"].append((n, *sb))

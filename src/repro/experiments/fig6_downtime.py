@@ -12,6 +12,7 @@ and time out (60 s client timeout) during saved reboots.
 
 from __future__ import annotations
 
+import sys
 import typing
 
 from repro.analysis.downtime import reboot_downtime_summary
@@ -20,8 +21,11 @@ from repro.experiments.common import (
     ExperimentResult,
     build_testbed,
     default_vm_counts,
+    run_decomposed,
 )
 from repro.guest.tcp import SessionState, TcpSession
+
+_STRATEGIES = ("warm", "saved", "cold")
 
 _PAPER_11VM = {
     ("ssh", "warm"): 42.0,
@@ -56,13 +60,47 @@ def measure_downtime(
     return summary.mean, outcome
 
 
+def cells(full: bool = False) -> list[tuple[tuple, str, dict]]:
+    """Independent measurement cells for the parallel/serial runners.
+
+    TCP-session observation rides along on the largest ssh run of each
+    strategy, exactly as in the paper's §5.3 narrative.
+    """
+    counts = default_vm_counts(full)
+    out: list[tuple[tuple, str, dict]] = []
+    for kind in ("ssh", "jboss"):
+        for n in counts:
+            for strategy in _STRATEGIES:
+                out.append(
+                    (
+                        (kind, n, strategy),
+                        "measure_downtime",
+                        {
+                            "n": n,
+                            "service_kind": kind,
+                            "strategy": strategy,
+                            "with_session": kind == "ssh" and n == counts[-1],
+                        },
+                    )
+                )
+    return out
+
+
 def run(full: bool = False) -> ExperimentResult:
     """Measure service downtime for every (n, service, strategy) cell."""
+    return run_decomposed(sys.modules[__name__], full)
+
+
+def assemble(
+    full: bool, payloads: dict[tuple, typing.Any]
+) -> ExperimentResult:
+    """Fold per-cell (mean downtime, session outcome) pairs into the
+    Figure 6 result."""
     counts = default_vm_counts(full)
     result = ExperimentResult(
         "FIG6", "service downtime vs VM count (ssh and JBoss)"
     )
-    strategies = ("warm", "saved", "cold")
+    strategies = _STRATEGIES
     sessions: dict[str, str | None] = {}
     for kind in ("ssh", "jboss"):
         table_rows: list[typing.Sequence[typing.Any]] = []
@@ -70,10 +108,7 @@ def run(full: bool = False) -> ExperimentResult:
         for n in counts:
             row: list[typing.Any] = [n]
             for strategy in strategies:
-                with_session = kind == "ssh" and n == counts[-1]
-                mean, outcome = measure_downtime(
-                    n, kind, strategy, with_session=with_session
-                )
+                mean, outcome = payloads[(kind, n, strategy)]
                 curves[strategy].append((n, mean))
                 row.append(mean)
                 if outcome is not None:

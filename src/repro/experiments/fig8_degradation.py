@@ -10,9 +10,16 @@
 
 from __future__ import annotations
 
+import sys
+import typing
+
 from repro.analysis.report import ComparisonRow, render_table
 from repro.errors import ReproError
-from repro.experiments.common import ExperimentResult, build_testbed
+from repro.experiments.common import (
+    ExperimentResult,
+    build_testbed,
+    run_decomposed,
+)
 from repro.units import gib, kib, mib
 from repro.workloads.fileread import degradation, first_and_second_read
 from repro.workloads.httperf import Httperf
@@ -67,14 +74,33 @@ def _web_case(strategy: str, nfiles: int, concurrency: int = 10) -> dict[str, fl
     return {"before": before, "after": after}
 
 
+def cells(full: bool = False) -> list[tuple[tuple, str, dict]]:
+    """Independent measurement cells for the parallel/serial runners."""
+    nfiles = 10_000 if full else 2_000
+    out: list[tuple[tuple, str, dict]] = [
+        (("read", s), "_file_read_case", {"strategy": s})
+        for s in ("warm", "cold")
+    ]
+    out.extend(
+        (("web", s), "_web_case", {"strategy": s, "nfiles": nfiles})
+        for s in ("warm", "cold")
+    )
+    return out
+
+
 def run(full: bool = False) -> ExperimentResult:
     """Measure file-read and web throughput around warm/cold reboots."""
+    return run_decomposed(sys.modules[__name__], full)
+
+
+def assemble(
+    full: bool, payloads: dict[tuple, typing.Any]
+) -> ExperimentResult:
+    """Fold per-cell throughput dicts into the Figure 8 result."""
     result = ExperimentResult(
         "FIG8", "throughput of file reads and web accesses around a reboot"
     )
-    nfiles = 10_000 if full else 2_000
-
-    reads = {s: _file_read_case(s) for s in ("warm", "cold")}
+    reads = {s: payloads[("read", s)] for s in ("warm", "cold")}
     result.tables.append(
         "-- (a) 512 MB file read throughput (MB/s) --\n"
         + render_table(
@@ -91,7 +117,7 @@ def run(full: bool = False) -> ExperimentResult:
             ],
         )
     )
-    web = {s: _web_case(s, nfiles) for s in ("warm", "cold")}
+    web = {s: payloads[("web", s)] for s in ("warm", "cold")}
     result.tables.append(
         "-- (b) web server throughput (req/s) --\n"
         + render_table(

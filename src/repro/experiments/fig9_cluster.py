@@ -26,9 +26,11 @@ from repro.analysis.timeline import (
     sum_series,
     zero_intervals,
 )
+import sys
+
 from repro.cluster import Cluster, MigrationRejuvenator, RollingRejuvenator
 from repro.errors import ReproError
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, run_decomposed
 from repro.simkernel import Simulator
 from repro.units import kib
 from repro.workloads.httperf import Httperf
@@ -36,6 +38,8 @@ from repro.workloads.httperf import Httperf
 _FILES_PER_HOST = 30
 _FILE_BYTES = 2 * 1024 * kib(1)
 _BUCKET_S = 5.0
+_SIZE = 3
+_SCHEMES = ("warm", "cold", "migration")
 
 
 def _cluster_run(
@@ -61,12 +65,22 @@ def _cluster_run(
         )
         sim.run(sim.spawn(guest.warm_file_cache(paths)))
 
-        def lookup(vm_name=vm_name):
+        def lookup(vm_name=vm_name, _cache=[None]):
             # Resolve wherever the VM currently lives: after a cold reboot
             # the service object is new, after a migration it is on
-            # another host (possibly the spare).
+            # another host (possibly the spare).  The hit is memoized while
+            # it stays reachable — a full cluster scan per request would
+            # dominate the whole experiment.
+            cached = _cache[0]
+            if (
+                cached is not None
+                and cached.reachable
+                and cached.guest.name == vm_name
+            ):
+                return cached
             for service in cluster.services("apache"):
                 if service.guest is not None and service.guest.name == vm_name:
+                    _cache[0] = service
                     return service
             raise ReproError(f"{vm_name} has no live apache replica")
 
@@ -127,14 +141,28 @@ def _cluster_run(
     }
 
 
+def cells(full: bool = False) -> list[tuple[tuple, str, dict]]:
+    """Independent measurement cells for the parallel/serial runners."""
+    return [
+        ((scheme,), "_cluster_run", {"scheme": scheme, "size": _SIZE})
+        for scheme in _SCHEMES
+    ]
+
+
 def run(full: bool = False) -> ExperimentResult:
     """Run the three cluster maintenance schemes and compare timelines."""
+    return run_decomposed(sys.modules[__name__], full)
+
+
+def assemble(
+    full: bool, payloads: dict[tuple, typing.Any]
+) -> ExperimentResult:
+    """Fold the per-scheme timeline payloads into the Figure 9 result."""
     result = ExperimentResult(
         "FIG9", "cluster total throughput during rolling rejuvenation"
     )
-    size = 3
-    runs = {scheme: _cluster_run(scheme, size=size) for scheme in
-            ("warm", "cold", "migration")}
+    size = _SIZE
+    runs = {scheme: payloads[(scheme,)] for scheme in _SCHEMES}
 
     rows = []
     for scheme, data in runs.items():

@@ -1,0 +1,336 @@
+"""Parallel experiment sweeps over independent measurement cells.
+
+The evaluation sweep is embarrassingly parallel at the *cell* level: one
+cell is one deterministically-seeded testbed plus one simulation (e.g.
+"FIG5, 7 VMs, xen-save"), so its payload depends only on its parameters
+and the code — never on which process runs it or in what order.  This
+module exploits that twice:
+
+* **fan-out** — cells from *all* requested experiments are pooled and
+  fanned across a :class:`~concurrent.futures.ProcessPoolExecutor`, so a
+  long cell from one experiment overlaps short cells from another;
+* **memoisation** — each payload is stored in a content-addressed cache
+  keyed on the cell's function, its parameters, the timing-profile
+  fingerprint and a hash of the package source, so re-running a sweep
+  recomputes only cells whose inputs actually changed.
+
+Experiments that are not cell-decomposed (they expose no ``cells``/
+``assemble`` pair) degrade gracefully to a single whole-run cell, which
+still parallelises across experiments and still caches.
+
+Equivalence with the serial path is by construction: the serial runner
+(:func:`repro.experiments.common.run_decomposed`) executes the *same*
+cell functions and the *same* ``assemble``; the tests in
+``tests/experiments/test_parallel.py`` assert bit-identical rows across
+serial, parallel and cached runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import typing
+from concurrent.futures import Future, ProcessPoolExecutor
+from pathlib import Path
+
+import repro
+from repro.config import paper_testbed
+from repro.errors import ReproError
+from repro.experiments import experiment_ids, runner_module
+from repro.experiments.common import ExperimentResult
+
+_WHOLE = "__whole_run__"
+"""Cell key marking a non-decomposed experiment run as a single unit."""
+
+_CACHE_VERSION = 1
+"""Bump to invalidate every cached payload at once."""
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class Cell:
+    """One independent measurement: a function call on a fresh testbed."""
+
+    experiment_id: str
+    key: tuple
+    fn: str
+    """``"module:function"`` — resolvable in a worker process."""
+    params: dict[str, typing.Any]
+
+    def digest(self, full: bool) -> str:
+        """Content address of this cell's payload.
+
+        Two cells share a digest only if they would compute the same
+        payload: same function, same parameters, same timing profile and
+        same package source.  ``repr`` of the sorted parameter items is
+        stable because cell parameters are ints/floats/strs/bools.
+        """
+        material = repr(
+            (
+                _CACHE_VERSION,
+                self.fn,
+                sorted(self.params.items()),
+                bool(full),
+                _profile_fingerprint(),
+                code_version(),
+            )
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def _profile_fingerprint() -> str:
+    """The default timing profile, as cache-key material.
+
+    ``TimingProfile`` is a frozen dataclass tree of scalars, so its repr
+    captures every calibrated constant an experiment can observe.
+    """
+    return repr(paper_testbed())
+
+
+_code_version: str | None = None
+
+
+def code_version() -> str:
+    """A hash over the ``repro`` package source (cache-key material)."""
+    global _code_version
+    if _code_version is None:
+        root = Path(repro.__file__).resolve().parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode("utf-8"))
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _code_version = h.hexdigest()
+    return _code_version
+
+
+# -- the cell plan -----------------------------------------------------------------
+
+
+def cells_for(experiment_id: str, full: bool = False) -> list[Cell]:
+    """The cell plan for one experiment.
+
+    Decomposed runner modules expose ``cells(full)``; anything else
+    becomes a single whole-run cell executing :func:`_run_whole`.
+    """
+    key = experiment_id.upper()
+    module = runner_module(key)
+    if hasattr(module, "cells") and hasattr(module, "assemble"):
+        return [
+            Cell(key, tuple(cell_key), f"{module.__name__}:{fn_name}", dict(params))
+            for cell_key, fn_name, params in module.cells(full)
+        ]
+    return [
+        Cell(
+            key,
+            (_WHOLE,),
+            f"{__name__}:_run_whole",
+            {"experiment_id": key, "full": full},
+        )
+    ]
+
+
+def _run_whole(experiment_id: str, full: bool) -> ExperimentResult:
+    """Whole-run fallback cell for non-decomposed experiments."""
+    return runner_module(experiment_id).run(full=full)
+
+
+def _assemble(
+    experiment_id: str, full: bool, payloads: dict[tuple, typing.Any]
+) -> ExperimentResult:
+    module = runner_module(experiment_id)
+    if hasattr(module, "cells") and hasattr(module, "assemble"):
+        return module.assemble(full, payloads)
+    return payloads[(_WHOLE,)]
+
+
+def _execute_cell(fn: str, params: dict[str, typing.Any]) -> typing.Any:
+    """Worker-side cell execution (top level, so it pickles)."""
+    import importlib
+
+    module_name, _, attr = fn.partition(":")
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)(**params)
+
+
+# -- the result cache --------------------------------------------------------------
+
+
+def cache_dir() -> Path:
+    """Where payloads live: ``$REPRO_CACHE_DIR`` or a user-cache default."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.expanduser("~/.cache")
+    return Path(xdg) / "repro-experiments"
+
+
+def _cache_path(digest: str) -> Path:
+    # Shard by the first byte to keep directory listings manageable.
+    return cache_dir() / digest[:2] / f"{digest}.pkl"
+
+
+def _cache_load(digest: str) -> tuple[bool, typing.Any]:
+    """(hit, payload); unreadable or corrupt entries are just misses.
+
+    Deliberately catches every Exception: depending on which opcode the
+    corruption lands on, unpickling garbage raises UnpicklingError,
+    EOFError, ValueError, UnicodeDecodeError, ImportError...  A cache
+    read must never be able to fail a sweep.
+    """
+    try:
+        blob = _cache_path(digest).read_bytes()
+        return True, pickle.loads(blob)
+    except Exception:
+        return False, None
+
+
+def _cache_store(digest: str, payload: typing.Any) -> None:
+    """Atomic write (unique temp file + rename): concurrent writers of
+    the same digest each land a complete file, last one wins."""
+    path = _cache_path(digest)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        os.replace(tmp, path)
+    except OSError:  # pragma: no cover - cache is best-effort
+        pass
+
+
+def clear_cache() -> int:
+    """Delete every cached payload; returns the number removed."""
+    removed = 0
+    root = cache_dir()
+    if root.is_dir():
+        for path in root.rglob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+    return removed
+
+
+# -- the runners -------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class SweepStats:
+    """What a parallel sweep actually did (observability + tests)."""
+
+    total_cells: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+
+
+def _resolve_jobs(jobs: int | None) -> int:
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _run_cells(
+    cells: list[Cell],
+    full: bool,
+    jobs: int | None,
+    use_cache: bool,
+    stats: SweepStats | None = None,
+) -> dict[tuple[str, tuple], typing.Any]:
+    """Execute a pooled cell list; returns payloads keyed by
+    (experiment id, cell key)."""
+    jobs = _resolve_jobs(jobs)
+    if stats is None:
+        stats = SweepStats()
+    stats.total_cells += len(cells)
+
+    payloads: dict[tuple[str, tuple], typing.Any] = {}
+    misses: list[tuple[Cell, str]] = []
+    for cell in cells:
+        digest = cell.digest(full) if use_cache else ""
+        if use_cache:
+            hit, payload = _cache_load(digest)
+            if hit:
+                payloads[(cell.experiment_id, cell.key)] = payload
+                stats.cache_hits += 1
+                continue
+        misses.append((cell, digest))
+
+    stats.executed += len(misses)
+    if not misses:
+        return payloads
+
+    if jobs == 1:
+        # In-process serial path: same cells, no pool overhead.
+        for cell, digest in misses:
+            payload = _execute_cell(cell.fn, cell.params)
+            payloads[(cell.experiment_id, cell.key)] = payload
+            if use_cache:
+                _cache_store(digest, payload)
+        return payloads
+
+    # More CPU-bound workers than cores only adds scheduler thrash, and
+    # idle workers beyond the miss count only add fork cost.
+    workers = min(jobs, len(misses), os.cpu_count() or 1)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures: list[tuple[Cell, str, Future]] = [
+            (cell, digest, pool.submit(_execute_cell, cell.fn, cell.params))
+            for cell, digest in misses
+        ]
+        for cell, digest, future in futures:
+            payload = future.result()
+            payloads[(cell.experiment_id, cell.key)] = payload
+            if use_cache:
+                _cache_store(digest, payload)
+    return payloads
+
+
+def run_experiment_parallel(
+    experiment_id: str,
+    full: bool = False,
+    jobs: int | None = None,
+    use_cache: bool = True,
+    stats: SweepStats | None = None,
+) -> ExperimentResult:
+    """Run one experiment by fanning its cells across worker processes."""
+    key = experiment_id.upper()
+    plan = cells_for(key, full)
+    payloads = _run_cells(plan, full, jobs, use_cache, stats)
+    return _assemble(key, full, {c.key: payloads[(key, c.key)] for c in plan})
+
+
+def run_all_parallel(
+    full: bool = False,
+    jobs: int | None = None,
+    use_cache: bool = True,
+    experiments: typing.Sequence[str] | None = None,
+    stats: SweepStats | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run a set of experiments (default: all) over one shared pool.
+
+    Cells from every experiment are pooled before fan-out, so the one
+    long whole-run cell of a non-decomposed experiment overlaps the many
+    short cells of the decomposed ones.
+    """
+    keys = (
+        experiment_ids()
+        if experiments is None
+        else [e.upper() for e in experiments]
+    )
+    plan: list[Cell] = []
+    for key in keys:
+        plan.extend(cells_for(key, full))
+    payloads = _run_cells(plan, full, jobs, use_cache, stats)
+    results: dict[str, ExperimentResult] = {}
+    for key in keys:
+        per_key = {
+            cell_key: payload
+            for (exp, cell_key), payload in payloads.items()
+            if exp == key
+        }
+        results[key] = _assemble(key, full, per_key)
+    return results

@@ -96,7 +96,9 @@ class GuestKernel:
 
     @property
     def machine(self) -> "PhysicalMachine":
-        vmm, _ = self._require_bound()
+        vmm = self.vmm
+        if vmm is None or self.domain is None:
+            raise GuestError(f"guest {self.name!r} is not bound to a domain")
         return vmm.machine
 
     @property
@@ -108,9 +110,8 @@ class GuestKernel:
         """Guest answers network traffic right now."""
         if self.state is not GuestState.RUNNING:
             return False
-        if self.vmm is None:
-            return False
-        return self.machine.nic.is_up
+        vmm = self.vmm
+        return vmm is not None and vmm.machine.nic._up
 
     def duration(self, stream: str, base: float) -> float:
         """A modelled duration with this guest's jitter stream applied."""
@@ -119,7 +120,10 @@ class GuestKernel:
     def cpu_execute(self, core_seconds: float):
         """Run guest CPU work under the VMM's credit scheduler, so this
         domain's configured weight/cap governs its progress."""
-        vmm, domain = self._require_bound()
+        vmm = self.vmm
+        domain = self.domain
+        if vmm is None or domain is None:
+            raise GuestError(f"guest {self.name!r} is not bound to a domain")
         return vmm.scheduler.execute(domain.name, core_seconds)
 
     # -- grant tables (split-driver I/O rings) ---------------------------------------

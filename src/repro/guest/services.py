@@ -54,7 +54,7 @@ class Service:
     def reachable(self) -> bool:
         """Can a remote client get a response right now?"""
         guest = self.guest
-        if guest is None or not self.is_up:
+        if guest is None or self.state is not ServiceState.UP:
             return False
         return guest.is_network_reachable
 

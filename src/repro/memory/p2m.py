@@ -13,6 +13,8 @@ figure the paper quotes.
 
 from __future__ import annotations
 
+import typing
+
 import numpy as np
 
 from repro.errors import P2MError
@@ -111,6 +113,22 @@ class P2MTable:
         mapped = self._table[self._table != UNMAPPED]
         if mapped.size != np.unique(mapped).size:
             raise P2MError(f"aliased MFNs in {self.domain_name!r}")
+
+    def mfn_to_pfn(self, mfns: typing.Iterable[int]) -> dict[int, int]:
+        """Reverse-translate machine frames to the PFNs they back here.
+
+        MFNs not mapped by this domain are silently absent from the result.
+        Vectorized over the table so looking up a sparse handful of frames
+        does not pay a Python-level scan of every PFN (262 144 entries per
+        GiB) — the save path calls this once per domain save.
+        """
+        table = self._table
+        wanted = np.fromiter(mfns, dtype=np.int64)
+        if wanted.size == 0:
+            return {}
+        mask = np.isin(table, wanted)
+        pfns = np.nonzero(mask)[0]
+        return {int(table[pfn]): int(pfn) for pfn in pfns}
 
     def snapshot(self) -> np.ndarray:
         """An immutable copy of the raw table (for save/restore paths)."""

@@ -23,6 +23,7 @@ event was explicitly :meth:`Event.defuse`-d.
 
 from __future__ import annotations
 
+import heapq
 import typing
 
 from repro.errors import SimulationError
@@ -103,7 +104,34 @@ class Event:
         self._ok = True
         self._value = value
         self._state = TRIGGERED
-        self.sim._enqueue(self, PRIORITY_NORMAL)
+        # Inlined Simulator._enqueue: succeed() runs once per completed
+        # unit of simulated work, everywhere.
+        sim = self.sim
+        sim._sequence += 1
+        heapq.heappush(sim._heap, (sim._now, PRIORITY_NORMAL, sim._sequence, self))
+        return self
+
+    def succeed_at(self, time: float, value: typing.Any = None) -> "Event":
+        """Decide a successful outcome now, delivering it at ``time``.
+
+        Equivalent to arming a timer whose callback calls :meth:`succeed`
+        at ``time``, minus the timer: the event is enqueued directly at
+        the deadline, the same way :class:`Timeout` schedules itself.
+        Fixed-latency completions (e.g. NIC wire delay after the
+        bandwidth share is paid) use this on their hot path.
+        """
+        if self._state != PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        sim = self.sim
+        if time < sim._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={sim._now}"
+            )
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        sim._sequence += 1
+        heapq.heappush(sim._heap, (time, PRIORITY_NORMAL, sim._sequence, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -115,7 +143,9 @@ class Event:
         self._ok = False
         self._value = exception
         self._state = TRIGGERED
-        self.sim._enqueue(self, PRIORITY_NORMAL)
+        sim = self.sim
+        sim._sequence += 1
+        heapq.heappush(sim._heap, (sim._now, PRIORITY_NORMAL, sim._sequence, self))
         return self
 
     def trigger_from(self, other: "Event") -> None:
@@ -154,12 +184,14 @@ class Event:
     def _process(self) -> None:
         """Run callbacks; called by the simulator's event loop."""
         self._state = PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        if not self._ok and not callbacks and not self._defused:
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            for callback in callbacks:
+                callback(self)
+        elif not self._ok and not self._defused:
             # Nobody is watching a failure: surface it from Simulator.run().
             raise self._value
-        for callback in callbacks:
-            callback(self)
 
     def __repr__(self) -> str:
         label = self.name or self.__class__.__name__
@@ -187,12 +219,26 @@ class Timeout(Event):
     ) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(sim, name=name or f"Timeout({delay:.6g})")
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__: timeouts are the kernel's hottest
+        # allocation, and the label is built lazily in __repr__.
+        self.sim = sim
+        self.name = name
+        self.callbacks = []
         self._value = value
+        self._ok = True
         self._state = TRIGGERED
-        sim._enqueue_at(sim.now + delay, self, PRIORITY_NORMAL)
+        self._defused = False
+        self.delay = delay
+        # Inlined _enqueue_at; the delay check above already rules out
+        # scheduling in the past.
+        sim._sequence += 1
+        heapq.heappush(
+            sim._heap, (sim._now + delay, PRIORITY_NORMAL, sim._sequence, self)
+        )
+
+    def __repr__(self) -> str:
+        label = self.name or f"Timeout({self.delay:.6g})"
+        return f"<{label} {self._state} at t={self.sim.now:.6g}>"
 
 
 class Condition(Event):

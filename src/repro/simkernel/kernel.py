@@ -31,23 +31,45 @@ from repro.simkernel.events import (
     AnyOf,
     Event,
     PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    PROCESSED,
     Timeout,
 )
 from repro.simkernel.process import Process, ProcessGenerator
 
 
 class TimerHandle:
-    """A cancellable scheduled callback (see :meth:`Simulator.call_at`)."""
+    """A cancellable scheduled callback (see :meth:`Simulator.call_at`).
 
-    __slots__ = ("_cancelled", "time")
+    Timer handles sit directly in the simulator's heap — no Event or
+    closure is allocated per timer, which matters because fluid-sharing
+    pools reschedule (cancel + re-arm) a timer on every membership
+    change.  A cancelled handle is dropped by the event loop without any
+    callback bookkeeping when its deadline is reached, and the simulator
+    compacts the heap if cancelled handles ever dominate it.
+    """
 
-    def __init__(self, time: float) -> None:
+    __slots__ = ("_cancelled", "_sim", "callback", "time")
+
+    def __init__(
+        self,
+        time: float,
+        callback: typing.Callable[[], None] | None = None,
+        sim: "Simulator | None" = None,
+    ) -> None:
         self.time = time
+        self.callback = callback
+        self._sim = sim
         self._cancelled = False
 
     def cancel(self) -> None:
         """Prevent the callback from running (safe after it ran)."""
+        if self._cancelled:
+            return
         self._cancelled = True
+        self.callback = None  # release closure references promptly
+        if self._sim is not None:
+            self._sim._note_timer_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -70,8 +92,9 @@ class Simulator:
         from repro.simkernel.tracing import Tracer  # local import: cycle guard
 
         self._now = float(start_time)
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._heap: list[tuple[float, int, int, typing.Any]] = []
         self._sequence = 0
+        self._cancelled_timers = 0
         self._active_process: Process | None = None
         self.trace = trace if trace is not None else Tracer(self)
 
@@ -123,17 +146,9 @@ class Simulator:
         """
         if time < self._now:
             raise SimulationError(f"call_at({time}) is in the past (now={self._now})")
-        handle = TimerHandle(time)
-        event = Event(self, name="timer")
-        event._ok = True
-        event._state = "triggered"
-
-        def run(_: Event) -> None:
-            if not handle.cancelled:
-                callback()
-
-        event.callbacks.append(run)
-        self._enqueue_at(time, event, PRIORITY_NORMAL)
+        handle = TimerHandle(time, callback, self)
+        self._sequence += 1
+        heapq.heappush(self._heap, (time, PRIORITY_NORMAL, self._sequence, handle))
         return handle
 
     def call_in(
@@ -142,10 +157,24 @@ class Simulator:
         """Run ``callback()`` after ``delay`` seconds; cancellable."""
         return self.call_at(self._now + delay, callback)
 
+    def _call_soon_urgent(self, callback: typing.Callable[[], None]) -> None:
+        """Schedule ``callback()`` at the current instant, urgently.
+
+        Used by :class:`~repro.simkernel.process.Process` start-up; cheaper
+        than a full Event because nothing ever waits on it.
+        """
+        self._sequence += 1
+        heapq.heappush(
+            self._heap,
+            (self._now, PRIORITY_URGENT, self._sequence, TimerHandle(self._now, callback)),
+        )
+
     # -- scheduling internals -------------------------------------------------
 
     def _enqueue(self, event: Event, priority: int) -> None:
-        self._enqueue_at(self._now, event, priority)
+        # "Now" can never be in the past: skip _enqueue_at's guard.
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now, priority, self._sequence, event))
 
     def _enqueue_at(self, time: float, event: Event, priority: int) -> None:
         if time < self._now:
@@ -155,19 +184,60 @@ class Simulator:
         self._sequence += 1
         heapq.heappush(self._heap, (time, priority, self._sequence, event))
 
+    def _note_timer_cancel(self) -> None:
+        """Account a cancelled timer still sitting in the heap.
+
+        When cancelled handles outnumber live entries (and are numerous
+        enough to matter), the heap is compacted in one pass so that
+        cancel-heavy workloads — fluid-sharing pools re-arm a timer on
+        every membership change — cannot grow the heap unboundedly.
+        """
+        self._cancelled_timers += 1
+        if self._cancelled_timers > 64 and self._cancelled_timers * 2 > len(self._heap):
+            # In-place: the run() loops hold a local reference to the list.
+            self._heap[:] = [
+                entry
+                for entry in self._heap
+                if not (type(entry[3]) is TimerHandle and entry[3]._cancelled)
+            ]
+            heapq.heapify(self._heap)
+            self._cancelled_timers = 0
+
     # -- event loop ------------------------------------------------------------
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        heap = self._heap
+        while heap:
+            head = heap[0][3]
+            if type(head) is TimerHandle and head._cancelled:
+                heapq.heappop(heap)
+                self._cancelled_timers -= 1
+                continue
+            return heap[0][0]
+        return float("inf")
 
     def step(self) -> None:
-        """Process exactly one scheduled event, advancing the clock."""
-        if not self._heap:
+        """Process the next scheduled event, advancing the clock.
+
+        Cancelled timers encountered on the way are discarded without any
+        callback bookkeeping (they count as no event at all).
+        """
+        heap = self._heap
+        if not heap:
             raise SimulationError("step() with an empty event queue")
-        time, _, _, event = heapq.heappop(self._heap)
-        self._now = time
-        event._process()
+        while heap:
+            time, _, _, item = heapq.heappop(heap)
+            if type(item) is TimerHandle:
+                if item._cancelled:
+                    self._cancelled_timers -= 1
+                    continue
+                self._now = time
+                item.callback()
+            else:
+                self._now = time
+                item._process()
+            return
 
     def run(self, until: float | Event | None = None) -> typing.Any:
         """Run the simulation.
@@ -180,29 +250,61 @@ class Simulator:
         * an :class:`Event` — run until that event has been processed, and
           return its value (re-raising its exception on failure).
         """
+        # The loops below inline step() — one dynamic dispatch per event is
+        # measurable at millions of events per experiment.
+        heap = self._heap
+        heappop = heapq.heappop
+
         if isinstance(until, Event):
             stop = until
-            while not stop.processed:
-                if not self._heap:
+            while stop._state != PROCESSED:
+                if not heap:
                     raise SimulationError(
                         f"event queue exhausted before {stop!r} fired"
                     )
-                self.step()
-            if not stop.ok:
+                time, _, _, item = heappop(heap)
+                if type(item) is TimerHandle:
+                    if item._cancelled:
+                        self._cancelled_timers -= 1
+                        continue
+                    self._now = time
+                    item.callback()
+                else:
+                    self._now = time
+                    item._process()
+            if not stop._ok:
                 stop.defuse()
                 raise stop.value
-            return stop.value
+            return stop._value
 
         if until is None:
-            while self._heap:
-                self.step()
+            while heap:
+                time, _, _, item = heappop(heap)
+                if type(item) is TimerHandle:
+                    if item._cancelled:
+                        self._cancelled_timers -= 1
+                        continue
+                    self._now = time
+                    item.callback()
+                else:
+                    self._now = time
+                    item._process()
             return None
 
         deadline = float(until)
         if deadline < self._now:
             raise SimulationError(f"run(until={deadline}) is in the past")
-        while self._heap and self._heap[0][0] <= deadline:
-            self.step()
+        while heap and heap[0][0] <= deadline:
+            time, _, _, item = heappop(heap)
+            if type(item) is TimerHandle:
+                if item._cancelled:
+                    self._cancelled_timers -= 1
+                    continue
+                self._now = time
+                item.callback()
+            else:
+                self._now = time
+                item._process()
         self._now = deadline
         return None
 

@@ -17,12 +17,36 @@ from __future__ import annotations
 import typing
 
 from repro.errors import ProcessKilled, SimulationError
-from repro.simkernel.events import Event, Interrupt, PENDING, PRIORITY_URGENT
+from repro.simkernel.events import (
+    Event,
+    Interrupt,
+    PENDING,
+    PRIORITY_URGENT,
+    PROCESSED,
+)
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.simkernel.kernel import Simulator
 
 ProcessGenerator = typing.Generator[Event, typing.Any, typing.Any]
+
+
+class _StartTrigger:
+    """Shared successful pseudo-event that kicks off every process.
+
+    Only the attributes :meth:`Process._resume` reads are provided; using
+    one immortal instance avoids allocating a real start Event (plus its
+    callback list) per spawn.
+    """
+
+    __slots__ = ()
+
+    _ok = True
+    ok = True
+    value = None
+
+
+_START = _StartTrigger()
 
 
 class Process(Event):
@@ -51,11 +75,7 @@ class Process(Event):
         # Kick off the generator at the current time, urgently so that a
         # freshly spawned process starts before ordinary events at this
         # instant are processed.
-        start = Event(sim, name=f"start:{self.name}")
-        start._ok = True
-        start._state = "triggered"
-        start.callbacks.append(self._resume)
-        sim._enqueue(start, PRIORITY_URGENT)
+        sim._call_soon_urgent(self._start)
 
     # -- public API --------------------------------------------------------
 
@@ -111,59 +131,63 @@ class Process(Event):
         self.defuse()
         self.fail(ProcessKilled(self.name))
 
-    # -- kernel internals ----------------------------------------------------
+    def _start(self) -> None:
+        """Timer callback that performs the first resumption."""
+        self._resume(_START)
 
     def _resume(self, trigger: Event) -> None:
         """Advance the generator with the outcome of ``trigger``."""
-        self.sim._active_process = self
+        sim = self.sim
+        generator = self.generator
+        interrupts = self._interrupts
+        sim._active_process = self
         self._target = None
         event: Event | None = trigger
         while True:
             assert event is not None
             try:
-                if self._interrupts:
-                    interrupt = self._interrupts.pop(0)
-                    next_event = self.generator.throw(interrupt)
-                elif event.ok:
-                    next_event = self.generator.send(event.value)
+                if interrupts:
+                    next_event = generator.throw(interrupts.pop(0))
+                elif event._ok:
+                    next_event = generator.send(event.value)
                 else:
-                    event.defuse()
-                    next_event = self.generator.throw(event.value)
+                    event._defused = True
+                    next_event = generator.throw(event._value)
             except StopIteration as stop:
-                self.sim._active_process = None
-                if self.is_alive:  # not already killed
+                sim._active_process = None
+                if self._state == PENDING:  # not already killed
                     self.succeed(stop.value)
                 return
             except BaseException as exc:
-                self.sim._active_process = None
+                sim._active_process = None
                 if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                     raise
-                if self.is_alive:
+                if self._state == PENDING:
                     self.fail(exc)
                 return
 
             if not isinstance(next_event, Event):
-                self.sim._active_process = None
+                sim._active_process = None
                 error = SimulationError(
                     f"process {self.name!r} yielded {next_event!r}, not an Event"
                 )
                 self.fail(error)
                 return
-            if next_event.sim is not self.sim:
-                self.sim._active_process = None
+            if next_event.sim is not sim:
+                sim._active_process = None
                 self.fail(SimulationError("yielded event belongs to another simulator"))
                 return
 
-            if self._interrupts:
+            if interrupts:
                 # A queued interrupt beats waiting: loop and deliver it now,
                 # leaving next_event un-waited (the process may re-yield it).
                 event = next_event
                 continue
-            if next_event.processed:
+            if next_event._state == PROCESSED:
                 # Already done: consume its outcome synchronously.
                 event = next_event
                 continue
             self._target = next_event
-            next_event.add_callback(self._resume)
-            self.sim._active_process = None
+            next_event.callbacks.append(self._resume)
+            sim._active_process = None
             return

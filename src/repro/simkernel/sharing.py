@@ -23,12 +23,14 @@ from __future__ import annotations
 
 import itertools
 import typing
+from heapq import heappush
 
 from repro.errors import SimulationError
-from repro.simkernel.events import Event
+from repro.simkernel.events import Event, PRIORITY_NORMAL
+from repro.simkernel.kernel import TimerHandle
 
 if typing.TYPE_CHECKING:  # pragma: no cover
-    from repro.simkernel.kernel import Simulator, TimerHandle
+    from repro.simkernel.kernel import Simulator
 
 _EPSILON = 1e-9
 
@@ -82,10 +84,17 @@ class SharedPool:
         self.capacity = float(capacity)
         self.per_job_cap = per_job_cap
         self.name = name
+        self._work_name = "work:" + name
         self._jobs: dict[int, _Job] = {}
         self._ids = itertools.count(1)
         self._last_update = sim.now
         self._timer: "TimerHandle | None" = None
+        self._total_weight = 0.0
+        """Sum of active jobs' weights, recomputed on membership change so
+        the per-event hot paths need no per-call ``sum()``."""
+        self._nonunit_jobs = 0
+        """How many active jobs have weight != 1.0 — when zero (the common
+        case) the total weight is exactly ``len(self._jobs)``."""
 
     # -- public API ----------------------------------------------------------
 
@@ -115,13 +124,72 @@ class SharedPool:
             raise SimulationError(f"weight must be positive, got {weight}")
         if cap is not None and cap <= 0:
             raise SimulationError(f"cap must be positive, got {cap}")
-        event = Event(self.sim, name=f"work:{self.name}")
+        event = Event(self.sim, name=self._work_name)
         if work == 0:
             event.succeed()
             return event
+        jobs = self._jobs
+        if not jobs and self._timer is None:
+            # Empty-pool fast path (roughly half of all submissions in the
+            # request-serving workloads): there is nothing to advance or
+            # reschedule, the sole job's rate is known immediately.
+            sim = self.sim
+            now = sim._now
+            self._last_update = now
+            job = _Job(next(self._ids), float(work), event, float(weight), cap)
+            jobs[job.job_id] = job
+            if job.weight != 1.0:
+                self._nonunit_jobs += 1
+            self._total_weight = job.weight
+            share = self.capacity
+            if self.per_job_cap is not None and share > self.per_job_cap:
+                share = self.per_job_cap
+            if cap is not None and share > cap:
+                share = cap
+            dt = job.remaining / share
+            deadline = now + dt
+            if deadline > now:
+                handle = TimerHandle(deadline, self._on_timer, sim)
+                sim._sequence += 1
+                heappush(sim._heap, (deadline, PRIORITY_NORMAL, sim._sequence, handle))
+                self._timer = handle
+            else:
+                self._reschedule()
+            return event
+        per_job_cap = self.per_job_cap
+        timer = self._timer
+        if (
+            timer is not None
+            and per_job_cap is not None
+            and self._nonunit_jobs == 0
+            and weight == 1.0
+            and self.capacity >= per_job_cap * (len(jobs) + 1)
+        ):
+            # Saturated-uncontended shortcut (CPU-style pools with spare
+            # capacity): every job, old and new, runs at its per-job cap,
+            # so existing deadlines are unaffected by the newcomer and the
+            # pending timer stays valid unless the new job finishes first.
+            # The share arithmetic mirrors the clamps in :meth:`_job_rate`
+            # exactly, so the computed deadline is bit-identical.
+            self._advance()
+            job = _Job(next(self._ids), float(work), event, 1.0, cap)
+            jobs[job.job_id] = job
+            self._total_weight = float(len(jobs))
+            share = per_job_cap
+            if cap is not None and share > cap:
+                share = cap
+            now = self.sim._now
+            deadline = now + job.remaining / share
+            if deadline >= timer.time and deadline > now:
+                return event
+            self._reschedule()
+            return event
         self._advance()
         job = _Job(next(self._ids), float(work), event, float(weight), cap)
-        self._jobs[job.job_id] = job
+        jobs[job.job_id] = job
+        if job.weight != 1.0:
+            self._nonunit_jobs += 1
+        self._recount_weight()
         self._reschedule()
         return event
 
@@ -147,6 +215,9 @@ class SharedPool:
             if job.event is event:
                 self._advance()
                 del self._jobs[job_id]
+                if job.weight != 1.0:
+                    self._nonunit_jobs -= 1
+                self._recount_weight()
                 error = SimulationError(f"job cancelled on {self.name}")
                 job.event.defuse()
                 job.event.fail(error)
@@ -157,6 +228,8 @@ class SharedPool:
         """Cancel every active job (used when a machine loses power)."""
         self._advance()
         jobs, self._jobs = list(self._jobs.values()), {}
+        self._total_weight = 0.0
+        self._nonunit_jobs = 0
         for job in jobs:
             job.event.defuse()
             job.event.fail(SimulationError(f"{self.name} drained"))
@@ -164,12 +237,25 @@ class SharedPool:
 
     # -- fluid-model internals -------------------------------------------------
 
+    def _recount_weight(self) -> None:
+        """Refresh the cached total weight after a membership change.
+
+        All-unit-weight pools (the common case) cost O(1): a sum of 1.0s
+        is exactly ``float(len(jobs))``.  Otherwise a fresh ``sum`` (not an
+        incremental +=/-=) so the cached value is bit-identical to what
+        recomputing on every use would give.
+        """
+        if self._nonunit_jobs:
+            self._total_weight = sum(job.weight for job in self._jobs.values())
+        else:
+            self._total_weight = float(len(self._jobs))
+
     def _rate(self, n: int, weight: float = 1.0, total_weight: float | None = None) -> float:
         """Progress rate for one uncapped job of ``weight`` among ``n``."""
         if n == 0:
             return 0.0
         if total_weight is None:
-            total_weight = sum(job.weight for job in self._jobs.values()) or weight
+            total_weight = self._total_weight or weight
         share = self.capacity * (weight / total_weight)
         if self.per_job_cap is not None:
             share = min(share, self.per_job_cap)
@@ -186,14 +272,23 @@ class SharedPool:
 
     def _advance(self) -> None:
         """Charge elapsed wall time against every active job's work."""
-        now = self.sim.now
+        now = self.sim._now
         dt = now - self._last_update
         self._last_update = now
-        if dt <= 0 or not self._jobs:
+        jobs = self._jobs
+        if dt <= 0 or not jobs:
             return
-        total_weight = sum(job.weight for job in self._jobs.values())
-        for job in self._jobs.values():
-            job.remaining -= self._job_rate(job, total_weight) * dt
+        total_weight = self._total_weight
+        capacity = self.capacity
+        per_job_cap = self.per_job_cap
+        for job in jobs.values():
+            share = capacity * (job.weight / total_weight)
+            if per_job_cap is not None and share > per_job_cap:
+                share = per_job_cap
+            cap = job.cap
+            if cap is not None and share > cap:
+                share = cap
+            job.remaining -= share * dt
 
     def _reschedule(self) -> None:
         """Re-plan the single next-completion timer after any change.
@@ -207,29 +302,90 @@ class SharedPool:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+        jobs = self._jobs
+        capacity = self.capacity
+        per_job_cap = self.per_job_cap
         while True:
-            finished = [
-                job for job in self._jobs.values() if job.remaining <= _EPSILON
-            ]
-            for job in finished:
-                del self._jobs[job.job_id]
-            for job in finished:
-                job.event.succeed()
-            if not self._jobs:
+            # One pass: collect numerically-finished jobs and find the
+            # next completion among the rest.
+            finished = None
+            nearest = None
+            nearest_dt = float("inf")
+            total_weight = self._total_weight
+            for job in jobs.values():
+                if job.remaining <= _EPSILON:
+                    if finished is None:
+                        finished = [job]
+                    else:
+                        finished.append(job)
+                    continue
+                share = capacity * (job.weight / total_weight)
+                if per_job_cap is not None and share > per_job_cap:
+                    share = per_job_cap
+                cap = job.cap
+                if cap is not None and share > cap:
+                    share = cap
+                dt = job.remaining / share
+                if dt < nearest_dt:
+                    nearest_dt = dt
+                    nearest = job
+            if finished:
+                for job in finished:
+                    del jobs[job.job_id]
+                    if job.weight != 1.0:
+                        self._nonunit_jobs -= 1
+                self._recount_weight()
+                for job in finished:
+                    job.event.succeed()
+                if jobs:
+                    # Weights changed: recompute the nearest completion.
+                    continue
+            if nearest is None:
                 return
-            total_weight = sum(job.weight for job in self._jobs.values())
-            nearest = min(
-                self._jobs.values(),
-                key=lambda job: job.remaining / self._job_rate(job, total_weight),
-            )
-            next_dt = nearest.remaining / self._job_rate(nearest, total_weight)
-            if self.sim.now + next_dt > self.sim.now:
-                self._timer = self.sim.call_in(next_dt, self._on_timer)
+            sim = self.sim
+            now = sim._now
+            deadline = now + nearest_dt
+            if deadline > now:
+                handle = TimerHandle(deadline, self._on_timer, sim)
+                sim._sequence += 1
+                heappush(sim._heap, (deadline, PRIORITY_NORMAL, sim._sequence, handle))
+                self._timer = handle
                 return
             # No representable time advance is possible: finish it now.
             nearest.remaining = 0.0
 
     def _on_timer(self) -> None:
         self._timer = None
+        jobs = self._jobs
+        if len(jobs) == 1:
+            # Single-job fast path (the dominant case for bus/NIC/disk
+            # style pools): the timer nearly always fires exactly when its
+            # sole job completes, so charge it and finish without the
+            # generic advance/reschedule double pass.  The share arithmetic
+            # mirrors :meth:`_advance` operation-for-operation so the float
+            # results are bit-identical.
+            sim = self.sim
+            now = sim._now
+            dt = now - self._last_update
+            self._last_update = now
+            job = next(iter(jobs.values()))
+            if dt > 0:
+                share = self.capacity * (job.weight / self._total_weight)
+                per_job_cap = self.per_job_cap
+                if per_job_cap is not None and share > per_job_cap:
+                    share = per_job_cap
+                cap = job.cap
+                if cap is not None and share > cap:
+                    share = cap
+                job.remaining -= share * dt
+            if job.remaining <= _EPSILON:
+                del jobs[job.job_id]
+                if job.weight != 1.0:
+                    self._nonunit_jobs -= 1
+                self._recount_weight()
+                job.event.succeed()
+                return
+            self._reschedule()
+            return
         self._advance()
         self._reschedule()

@@ -12,16 +12,19 @@ Records are cheap (a dataclass with a dict payload) and strictly ordered by
 
 from __future__ import annotations
 
-import dataclasses
 import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.simkernel.kernel import Simulator
 
 
-@dataclasses.dataclass(frozen=True)
 class TraceRecord:
-    """One recorded occurrence.
+    """One recorded occurrence (immutable by convention).
+
+    A plain ``__slots__`` class rather than a frozen dataclass: records
+    are the single most-allocated object in a traced simulation, and the
+    frozen-dataclass ``__init__`` (one ``object.__setattr__`` per field)
+    costs several times a direct attribute store.
 
     Attributes
     ----------
@@ -34,10 +37,19 @@ class TraceRecord:
         Arbitrary payload (domain id, service name, byte counts, ...).
     """
 
-    time: float
-    sequence: int
-    kind: str
-    fields: dict[str, typing.Any]
+    __slots__ = ("time", "sequence", "kind", "fields")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        kind: str,
+        fields: dict[str, typing.Any],
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.kind = kind
+        self.fields = fields
 
     def __getitem__(self, key: str) -> typing.Any:
         return self.fields[key]
@@ -46,24 +58,51 @@ class TraceRecord:
         """Field lookup with a default (dict.get semantics)."""
         return self.fields.get(key, default)
 
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TraceRecord(time={self.time!r}, sequence={self.sequence!r}, "
+            f"kind={self.kind!r}, fields={self.fields!r})"
+        )
+
 
 class Tracer:
-    """Collects :class:`TraceRecord` entries for one simulation."""
+    """Collects :class:`TraceRecord` entries for one simulation.
+
+    Subscribers are bucketed by the first dotted segment of their prefix
+    (``"vmm.save."`` lives in the ``"vmm"`` bucket), so recording touches
+    only the handful of subscriptions that could possibly match instead of
+    scanning every registered prefix.  Prefixes without a dot (including
+    ``""``) cannot be bucketed soundly — ``"ne"`` matches ``"net.tx"`` —
+    and go to a catch-all list scanned on every record.
+    """
+
+    __slots__ = ("_sim", "_records", "_sequence", "_buckets", "_scan_all", "_nsubs")
 
     def __init__(self, sim: "Simulator") -> None:
         self._sim = sim
         self._records: list[TraceRecord] = []
         self._sequence = 0
-        self._subscribers: dict[str, list[typing.Callable[[TraceRecord], None]]] = {}
+        self._buckets: dict[
+            str, list[tuple[str, typing.Callable[[TraceRecord], None]]]
+        ] = {}
+        self._scan_all: list[tuple[str, typing.Callable[[TraceRecord], None]]] = []
+        self._nsubs = 0
 
     def record(self, kind: str, **fields: typing.Any) -> TraceRecord:
         """Append a record stamped with the current simulated time."""
         self._sequence += 1
-        rec = TraceRecord(self._sim.now, self._sequence, kind, fields)
+        rec = TraceRecord(self._sim._now, self._sequence, kind, fields)
         self._records.append(rec)
-        for prefix, callbacks in self._subscribers.items():
-            if kind.startswith(prefix):
-                for callback in callbacks:
+        if self._nsubs:
+            dot = kind.find(".")
+            head = kind if dot < 0 else kind[:dot]
+            matches = self._buckets.get(head)
+            if matches:
+                for prefix, callback in matches:
+                    if kind.startswith(prefix):
+                        callback(rec)
+            for prefix, callback in self._scan_all:
+                if kind.startswith(prefix):
                     callback(rec)
         return rec
 
@@ -72,7 +111,13 @@ class Tracer:
     ) -> None:
         """Invoke ``callback`` for every future record whose kind starts
         with ``prefix`` (live monitoring, e.g. the downtime prober)."""
-        self._subscribers.setdefault(prefix, []).append(callback)
+        dot = prefix.find(".")
+        if dot < 0:
+            # "vmm" (or "") could match kinds in any bucket: scan always.
+            self._scan_all.append((prefix, callback))
+        else:
+            self._buckets.setdefault(prefix[:dot], []).append((prefix, callback))
+        self._nsubs += 1
 
     # -- querying -------------------------------------------------------------
 
@@ -94,16 +139,16 @@ class Tracer:
         ``field_filters`` keep only records where each named field equals
         the given value (missing fields never match).
         """
+        sentinel = object()
+        filters = list(field_filters.items())
         out = []
         for rec in self._records:
             if not rec.kind.startswith(prefix):
                 continue
             if not (since <= rec.time <= until):
                 continue
-            sentinel = object()
             if any(
-                rec.fields.get(key, sentinel) != value
-                for key, value in field_filters.items()
+                rec.fields.get(key, sentinel) != value for key, value in filters
             ):
                 continue
             out.append(rec)

@@ -85,6 +85,7 @@ class Hypervisor:
         self.hypercall_counts: dict[str, int] = {}
         self._domids = itertools.count(0)
         self._domain_heap: dict[str, typing.Any] = {}
+        self._domain_list_cache: list[Domain] | None = None
 
     # -- small helpers -----------------------------------------------------------
 
@@ -105,10 +106,18 @@ class Hypervisor:
 
     @property
     def domain_list(self) -> list[Domain]:
-        """All domains, dom0 first then by domid."""
-        return sorted(
-            self.domains.values(), key=lambda d: (not d.is_dom0, d.domid)
-        )
+        """All domains, dom0 first then by domid.
+
+        Cached until domain membership changes — cluster schedulers walk
+        this list on every request, and re-sorting per call dominated the
+        FIG9 profile.  Callers receive a copy they may mutate freely.
+        """
+        cache = self._domain_list_cache
+        if cache is None:
+            cache = self._domain_list_cache = sorted(
+                self.domains.values(), key=lambda d: (not d.is_dom0, d.domid)
+            )
+        return list(cache)
 
     @property
     def domus(self) -> list[Domain]:
@@ -188,6 +197,7 @@ class Hypervisor:
         self.xenstore = Xenstore(faults=self.faults)
         self.xenstore.register_domain(dom0.domid, dom0.name, dom0.memory_bytes)
         self.domains[dom0.name] = dom0
+        self._domain_list_cache = None
         dom0.transition(DomainState.RUNNING)
         self._trace("vmm.dom0.created")
         return dom0
@@ -244,6 +254,7 @@ class Hypervisor:
             self.event_channels.bind(domain.name, DOM0_NAME, "xenstore")
         self.scheduler.set_params(domain.name, SchedulerParams())
         self.domains[domain.name] = domain
+        self._domain_list_cache = None
 
     def destroy_domain(self, name: str, scrub: bool = True) -> None:
         """Tear down a domain and release its resources.
@@ -281,6 +292,7 @@ class Hypervisor:
             self.xenstore.unregister_domain(domain.domid)
         domain.transition(DomainState.DEAD)
         del self.domains[name]
+        self._domain_list_cache = None
         self._trace("vmm.domain.destroyed", domain=name)
 
     def balloon_for(self, name: str) -> Balloon:
@@ -417,15 +429,20 @@ class Hypervisor:
         return domain
 
     def collect_domain_tokens(self, domain: Domain) -> dict[int, typing.Any]:
-        """Snapshot the domain's memory-content sentinels, keyed by PFN."""
-        tokens: dict[int, typing.Any] = {}
-        table = domain.p2m.snapshot()
-        mfn_to_pfn = {int(mfn): pfn for pfn, mfn in enumerate(table) if mfn >= 0}
-        for mfn, token in list(self.machine.memory._tokens.items()):
-            pfn = mfn_to_pfn.get(mfn)
-            if pfn is not None:
-                tokens[pfn] = token
-        return tokens
+        """Snapshot the domain's memory-content sentinels, keyed by PFN.
+
+        Content sentinels are sparse, so only the written frames are
+        reverse-translated (vectorized in the P2M table) instead of
+        building a full MFN→PFN map of the whole domain per save.
+        """
+        written = self.machine.memory._tokens
+        if not written:
+            return {}
+        mfn_to_pfn = domain.p2m.mfn_to_pfn(written.keys())
+        return {
+            pfn: written[mfn]
+            for mfn, pfn in mfn_to_pfn.items()
+        }
 
     def write_domain_tokens(
         self, domain: Domain, tokens_by_pfn: dict[int, typing.Any]

@@ -40,6 +40,11 @@ class SchedulerParams:
             raise VMMError(f"scheduler cap must be positive, got {self.cap_cores}")
 
 
+_DEFAULT_PARAMS = SchedulerParams()
+"""Shared immutable default: built per-call this is a surprisingly hot
+allocation, since most domains never have explicit parameters set."""
+
+
 class CreditScheduler:
     """Maps per-domain weights/caps onto the machine's CPU pool."""
 
@@ -54,7 +59,7 @@ class CreditScheduler:
 
     def params_for(self, domain_name: str) -> SchedulerParams:
         """The domain's share (Xen defaults if never configured)."""
-        return self._params.get(domain_name, SchedulerParams())
+        return self._params.get(domain_name, _DEFAULT_PARAMS)
 
     def remove_domain(self, domain_name: str) -> None:
         """Forget a destroyed domain's configuration."""

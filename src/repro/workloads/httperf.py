@@ -16,7 +16,6 @@ throughput collapses to zero during downtime and recovers after it.
 
 from __future__ import annotations
 
-import dataclasses
 import typing
 
 from repro.errors import ReproError, ServiceError
@@ -24,14 +23,26 @@ from repro.guest.services import Service
 from repro.simkernel import Process, Simulator
 
 
-@dataclasses.dataclass(frozen=True)
 class Completion:
-    """One successfully served request."""
+    """One successfully served request (immutable by convention).
 
-    time: float
-    path: str
-    nbytes: int
-    latency: float
+    A plain ``__slots__`` class: one is allocated per served request, and
+    the frozen-dataclass ``__init__`` costs several times a direct store.
+    """
+
+    __slots__ = ("time", "path", "nbytes", "latency")
+
+    def __init__(self, time: float, path: str, nbytes: int, latency: float) -> None:
+        self.time = time
+        self.path = path
+        self.nbytes = nbytes
+        self.latency = latency
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Completion(time={self.time!r}, path={self.path!r}, "
+            f"nbytes={self.nbytes!r}, latency={self.latency!r})"
+        )
 
 
 class Httperf:
@@ -108,22 +119,23 @@ class Httperf:
         return path
 
     def _worker(self) -> typing.Generator:
+        sim = self.sim
+        lookup = self.lookup
+        completions = self.completions
         while not self._stopped:
             path = self._next_path()
             if path is None:
                 return
             while not self._stopped:
-                issued = self.sim.now
+                issued = sim._now
                 try:
-                    service = self.lookup()
-                    nbytes = yield from service.handle_request(path=path)
+                    nbytes = yield from lookup().handle_request(path=path)
                 except (ServiceError, ReproError):
                     self.failures += 1
-                    yield self.sim.timeout(self.retry_interval_s)
+                    yield sim.timeout(self.retry_interval_s)
                     continue
-                self.completions.append(
-                    Completion(self.sim.now, path, nbytes, self.sim.now - issued)
-                )
+                now = sim._now
+                completions.append(Completion(now, path, nbytes, now - issued))
                 break
 
     # -- measurement -----------------------------------------------------------------
