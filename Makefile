@@ -1,11 +1,11 @@
 # Developer entry points.  `make ci` is what the CI job runs: the tier-1
-# test suite plus a perf smoke that fails on >30% regressions against the
-# committed BENCH_PERF.json baseline.
+# test suite plus a quick-mode perf smoke that fails on >30% regressions
+# against the committed BENCH_PERF.json baseline.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench perf-check perf-write ci
+.PHONY: test bench perf-check perf-write profile ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,11 +16,19 @@ bench:
 # Kernel micro-benchmarks + sub-second experiments, guarded against the
 # committed baseline.  Seconds, not a full sweep.
 perf-check:
-	$(PYTHON) benchmarks/perf_report.py --check --smoke
+	$(PYTHON) benchmarks/perf_report.py --check --mode quick
 
 # Full re-measurement (serial + parallel + cached sweep); rewrites the
 # committed baseline.  Run on quiet hardware and commit the result.
 perf-write:
 	$(PYTHON) benchmarks/perf_report.py --write --jobs 4
+
+# cProfile over the heaviest experiment (FIG9), cumulative-time sorted.
+# Hot-path work should start from this, not from guesses.
+profile:
+	$(PYTHON) -c "import cProfile, pstats; \
+	from repro.experiments import run_experiment; \
+	pr = cProfile.Profile(); pr.enable(); run_experiment('FIG9'); \
+	pr.disable(); pstats.Stats(pr).sort_stats('cumulative').print_stats(40)"
 
 ci: test perf-check

@@ -1,17 +1,21 @@
-"""Simulation-kernel micro-benchmarks: events/sec and trace records/sec.
+"""Simulation-kernel micro-benchmarks: event, trace and query throughput.
 
 Standalone (prints JSON)::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py
 
-The two numbers deliberately exercise the kernel's two hottest paths:
+The numbers deliberately exercise the kernel's hottest paths:
 
 * **events/sec** — a generator process yielding timeouts, measuring the
   heap, event-state and process-resumption machinery end to end;
 * **records/sec** — ``Tracer.record`` with no subscribers, the
-  always-on instrumentation cost every simulated action pays.
+  always-on instrumentation cost every simulated action pays;
+* **select rows/sec** — windowed prefix+field queries over a populated
+  columnar trace, the read side every analysis pays;
+* **bucketize times/sec** — the vectorized timeline binning that turns
+  completion streams into the paper's rate series.
 
-Both are also what ``benchmarks/perf_report.py`` records in
+All are also what ``benchmarks/perf_report.py`` records in
 ``BENCH_PERF.json`` and what the CI perf smoke guards against
 regressions.
 """
@@ -53,13 +57,57 @@ def bench_trace_throughput(n: int = 1_000_000) -> float:
     return n / elapsed
 
 
+def bench_select_throughput(n: int = 400_000, queries: int = 40) -> float:
+    """Matched records materialized per second by windowed selects.
+
+    Fills the trace with ``n`` records over eight kinds (several sealed
+    chunks plus an active tail), then runs prefix+window+field queries —
+    the exact shape the downtime and timeline analyses use.
+    """
+    from repro.simkernel import Simulator
+
+    sim = Simulator()
+    record = sim.trace.record
+    for i in range(n):
+        sim._now = i * 0.001
+        record(f"svc.k{i % 8}", value=i, domain="vm%d" % (i % 3))
+    since, until = n * 0.001 * 0.2, n * 0.001 * 0.8
+    matched = 0
+    started = time.perf_counter()
+    for q in range(queries):
+        rows = sim.trace.select(
+            "svc.k%d" % (q % 8), since=since, until=until, domain="vm1"
+        )
+        matched += len(rows)
+    elapsed = time.perf_counter() - started
+    return matched / elapsed
+
+
+def bench_bucketize_throughput(n: int = 1_000_000, repeats: int = 5) -> float:
+    """Completion timestamps binned per second by ``bucketize``."""
+    from repro.analysis.timeline import bucketize
+
+    times = [i * 0.01 for i in range(n)]
+    started = time.perf_counter()
+    for _ in range(repeats):
+        bucketize(times, 5.0)
+    elapsed = time.perf_counter() - started
+    return n * repeats / elapsed
+
+
 def measure(repeats: int = 3) -> dict[str, float]:
-    """Best-of-``repeats`` for both micro-benchmarks (max filters out
+    """Best-of-``repeats`` for each micro-benchmark (max filters out
     scheduler noise, which only ever slows a run down)."""
     return {
         "events_per_sec": max(bench_event_throughput() for _ in range(repeats)),
         "trace_records_per_sec": max(
             bench_trace_throughput() for _ in range(repeats)
+        ),
+        "trace_select_rows_per_sec": max(
+            bench_select_throughput() for _ in range(repeats)
+        ),
+        "bucketize_times_per_sec": max(
+            bench_bucketize_throughput() for _ in range(repeats)
         ),
     }
 

@@ -4,13 +4,15 @@ Writes ``BENCH_PERF.json`` at the repo root (committed, so every change
 to it shows up in review) and checks fresh measurements against it::
 
     PYTHONPATH=src python benchmarks/perf_report.py --write --jobs 4
-    PYTHONPATH=src python benchmarks/perf_report.py --check --smoke
+    PYTHONPATH=src python benchmarks/perf_report.py --check --mode quick
 
 ``--check`` fails (exit 1) when any guarded number regresses by more
 than 30 % against the committed baseline — wall clocks 30 % slower, or
-kernel throughputs 30 % lower.  ``--smoke`` restricts the measurement to
-the kernel micro-benchmarks plus a handful of sub-second experiments so
-CI pays seconds, not a full sweep.
+kernel throughputs 30 % lower.  ``--mode quick`` restricts the
+measurement to the kernel micro-benchmarks plus a handful of sub-second
+experiments so CI pays seconds, not a full sweep; ``--mode full`` (the
+default) also times the whole serial/parallel/cached sweep.  ``--smoke``
+is a legacy alias for ``--mode quick``.
 """
 
 from __future__ import annotations
@@ -96,8 +98,8 @@ def measure(smoke: bool, jobs: int) -> dict[str, typing.Any]:
     from repro.experiments import experiment_ids
 
     report: dict[str, typing.Any] = {
-        "schema": 1,
-        "mode": "smoke" if smoke else "full",
+        "schema": 2,
+        "mode": "quick" if smoke else "full",
         "kernel": {k: round(v) for k, v in measure_kernel().items()},
         "experiments_s": measure_experiments(
             SMOKE_IDS if smoke else experiment_ids()
@@ -141,15 +143,20 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
                         help="measure and (over)write BENCH_PERF.json")
     parser.add_argument("--check", action="store_true",
                         help="measure and compare against BENCH_PERF.json")
+    parser.add_argument("--mode", choices=("quick", "full"), default=None,
+                        help="quick: kernel micro-benchmarks + fast "
+                             "experiments only; full: everything incl. the "
+                             "run_all sweep (default)")
     parser.add_argument("--smoke", action="store_true",
-                        help="kernel micro-benchmarks + fast experiments only")
+                        help="legacy alias for --mode quick")
     parser.add_argument("--jobs", type=int, default=4,
                         help="worker processes for the run_all timing")
     args = parser.parse_args(argv)
     if not (args.write or args.check):
         parser.error("give --write and/or --check")
+    quick = args.smoke or args.mode == "quick"
 
-    fresh = measure(smoke=args.smoke, jobs=args.jobs)
+    fresh = measure(smoke=quick, jobs=args.jobs)
 
     exit_code = 0
     if args.check:

@@ -54,7 +54,7 @@ def run_scenario(strategy: str) -> None:
     client.stop()
 
     series = bucketize(
-        [c.time - base for c in client.completions],
+        [t - base for t in client.completion_times],
         bucket_s=2.0,
         start=0.0,
         end=report.finished - base + 90,

@@ -62,7 +62,7 @@ def run_one(strategy: str) -> dict[str, typing.Any]:
 
     bucket_s = 2.0
     series = bucketize(
-        [c.time - base for c in client.completions],
+        [t - base for t in client.completion_times],
         bucket_s,
         start=0.0,
         end=report.finished - base + 120,
@@ -73,10 +73,10 @@ def run_one(strategy: str) -> dict[str, typing.Any]:
     ]
     # When the web VM stopped answering: the paper's "web server was
     # stopped at time X" instant.
-    web_downs = controller.sim.trace.select(
+    web_down = controller.sim.trace.first(
         "service.down", since=base, domain=_WEB_VM
     )
-    served_until = (web_downs[0].time - base) if web_downs else 0.0
+    served_until = (web_down.time - base) if web_down is not None else 0.0
     # Steady rates before the reboot and after full recovery.
     before = client.mean_rate(until=base + _REBOOT_AT)
     after = client.mean_rate(since=report.finished + 60)

@@ -109,7 +109,7 @@ def _cluster_run(
     series_start = workload_start + 10.0
     per_host = [
         bucketize(
-            [c.time for c in client.completions],
+            client.completion_times,
             _BUCKET_S,
             start=series_start,
             end=maintenance_end + 110,

@@ -73,7 +73,7 @@ class NetworkLink:
         if nbytes < 0:
             raise HardwareError(f"negative transmit size {nbytes}")
         sim = self.sim
-        done = sim.event(name=self._tx_name)
+        done = Event(sim, name=self._tx_name)
         if not self._up:
             done.fail(HardwareError(f"{self.name} is down"))
             return done

@@ -96,6 +96,9 @@ class Simulator:
         self._sequence = 0
         self._cancelled_timers = 0
         self._active_process: Process | None = None
+        # Columnar: record() appends to typed column buffers and allocates
+        # no per-record object unless a live subscription matches, so
+        # always-on tracing stays off the event hot path's flamegraph.
         self.trace = trace if trace is not None else Tracer(self)
 
     # -- clock -------------------------------------------------------------

@@ -142,9 +142,8 @@ class Process(Event):
         interrupts = self._interrupts
         sim._active_process = self
         self._target = None
-        event: Event | None = trigger
+        event: Event = trigger
         while True:
-            assert event is not None
             try:
                 if interrupts:
                     next_event = generator.throw(interrupts.pop(0))

@@ -1,30 +1,66 @@
-"""Trace instrumentation for simulations.
+"""Trace instrumentation for simulations — a columnar trace engine.
 
 Experiments need to observe *when* things happened — when a service went
 down, when the VMM finished reloading, how throughput evolved.  Rather than
 sprinkling ad-hoc lists everywhere, every simulator carries a
-:class:`Tracer`; components record typed :class:`TraceRecord` entries and
-analyses query them afterwards.
+:class:`Tracer`; components record typed occurrences and analyses query
+them afterwards.
 
-Records are cheap (a dataclass with a dict payload) and strictly ordered by
-(time, sequence), matching the deterministic event order of the kernel.
+Storage is *columnar* (struct-of-arrays), not a list of record objects:
+
+* the hot append path writes into plain-list columns of the **active
+  chunk** (one append per column: time, interned kind-id, payload dict);
+* when the active chunk reaches :data:`CHUNK_RECORDS` entries it is
+  **sealed**: times become a ``float64`` array, kind-ids an ``int32``
+  array, and the payload dicts are decomposed into per-field typed
+  columns (``int64`` / ``float64``) with an object-column fallback for
+  strings, bools and mixed-type fields;
+* record *sequences* are never stored at all — ``record()`` bumps the
+  sequence counter exactly once per stored record and :meth:`Tracer.clear`
+  keeps the counter growing, so the sequence of the i-th stored record is
+  always ``seq_base + i + 1`` (see :meth:`Tracer.clear` for the invariant).
+
+Queries (:meth:`Tracer.select`, :meth:`Tracer.times`, prefix matching)
+are mask operations over the kind-id arrays plus ``searchsorted`` over
+the (non-decreasing) time column, materializing a :class:`TraceRecord`
+view only for matching rows.  Live subscribers keep exact per-record
+callback semantics: a ``TraceRecord`` is built lazily, only when at least
+one subscription matches the kind being recorded, and all callbacks for
+that record share the same object.
+
+Records are strictly ordered by (time, sequence), matching the
+deterministic event order of the kernel.
 """
 
 from __future__ import annotations
 
 import typing
 
+import numpy as np
+
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.simkernel.kernel import Simulator
+
+CHUNK_RECORDS = 8192
+"""Records per sealed chunk: large enough to amortize sealing to noise,
+small enough that the active (list-backed) tail stays cache-friendly."""
+
+_MISSING = object()
+"""Sentinel for 'this record has no such payload field' inside columns."""
+
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
 
 
 class TraceRecord:
     """One recorded occurrence (immutable by convention).
 
-    A plain ``__slots__`` class rather than a frozen dataclass: records
-    are the single most-allocated object in a traced simulation, and the
-    frozen-dataclass ``__init__`` (one ``object.__setattr__`` per field)
-    costs several times a direct attribute store.
+    This is a *view*: the engine stores columns, not record objects, and
+    builds a ``TraceRecord`` only when a query matches or a subscriber
+    must be called.  A plain ``__slots__`` class rather than a frozen
+    dataclass: the frozen-dataclass ``__init__`` (one
+    ``object.__setattr__`` per field) costs several times a direct
+    attribute store.
 
     Attributes
     ----------
@@ -65,8 +101,133 @@ class TraceRecord:
         )
 
 
+class _Chunk:
+    """One sealed block of records in struct-of-arrays layout.
+
+    ``cols`` maps field name -> ``(values, is_object)``:
+
+    * typed columns: ``values`` is an ``int64``/``float64`` array paired
+      with a presence mask (``None`` when the field is on every record);
+    * object columns: ``values`` is a plain list holding the original
+      Python objects, with :data:`_MISSING` where a record lacks the field.
+
+    Only fields whose present values are *uniformly* ``int`` or uniformly
+    ``float`` get a typed column — mixed ``int``/``float`` (and ``bool``,
+    which is an ``int`` subclass but semantically distinct) fall back to
+    the object column so reconstructed payloads round-trip exactly.
+    """
+
+    __slots__ = ("times", "kids", "seq0", "keys", "cols")
+
+    def __init__(
+        self,
+        times: np.ndarray,
+        kids: np.ndarray,
+        seq0: int,
+        payloads: list[dict[str, typing.Any]],
+    ) -> None:
+        self.times = times
+        self.kids = kids
+        self.seq0 = seq0
+        keys: list[str] = []
+        for fields in payloads:
+            for key in fields:
+                if key not in keys:
+                    keys.append(key)
+        self.keys = keys
+        cols: dict[str, tuple[typing.Any, typing.Any]] = {}
+        for key in keys:
+            values = [fields.get(key, _MISSING) for fields in payloads]
+            all_int = True
+            all_float = True
+            missing = False
+            for value in values:
+                if value is _MISSING:
+                    missing = True
+                    continue
+                cls = type(value)
+                if cls is not int:
+                    all_int = False
+                if cls is not float:
+                    all_float = False
+                if not (all_int or all_float):
+                    break
+            if all_int or all_float:
+                present = (
+                    np.array([v is not _MISSING for v in values])
+                    if missing
+                    else None
+                )
+                filled = (
+                    [0 if v is _MISSING else v for v in values]
+                    if missing
+                    else values
+                )
+                try:
+                    arr = np.array(
+                        filled, dtype=np.int64 if all_int else np.float64
+                    )
+                except OverflowError:  # ints beyond int64: keep as objects
+                    cols[key] = (values, True)
+                else:
+                    cols[key] = ((arr, present), False)
+            else:
+                cols[key] = (values, True)
+        self.cols = cols
+
+    def __len__(self) -> int:
+        return len(self.kids)
+
+    def fields_at(self, i: int) -> dict[str, typing.Any]:
+        """Rebuild the i-th record's payload dict from the columns."""
+        fields: dict[str, typing.Any] = {}
+        for key in self.keys:
+            values, is_object = self.cols[key]
+            if is_object:
+                value = values[i]
+                if value is not _MISSING:
+                    fields[key] = value
+            else:
+                arr, present = values
+                if present is None or present[i]:
+                    fields[key] = arr[i].item()
+        return fields
+
+    def filter_indices(
+        self, idx: np.ndarray, filters: list[tuple[str, typing.Any]]
+    ) -> np.ndarray | None:
+        """Narrow candidate row indices by field-equality filters."""
+        for key, wanted in filters:
+            if len(idx) == 0:
+                return None
+            col = self.cols.get(key)
+            if col is None:  # no record in this chunk has the field
+                return None
+            values, is_object = col
+            if is_object:
+                keep = [
+                    j
+                    for j, i in enumerate(idx)
+                    if values[i] is not _MISSING and values[i] == wanted
+                ]
+                if not keep:
+                    return None
+                idx = idx[keep]
+            else:
+                arr, present = values
+                if not isinstance(wanted, (bool, int, float)):
+                    return None  # a numeric column never equals a non-number
+                mask = arr[idx] == wanted
+                if present is not None:
+                    mask &= present[idx]
+                idx = idx[mask]
+                if len(idx) == 0:
+                    return None
+        return idx
+
+
 class Tracer:
-    """Collects :class:`TraceRecord` entries for one simulation.
+    """Collects trace records for one simulation, columnar-style.
 
     Subscribers are bucketed by the first dotted segment of their prefix
     (``"vmm.save."`` lives in the ``"vmm"`` bucket), so recording touches
@@ -76,41 +237,122 @@ class Tracer:
     and go to a catch-all list scanned on every record.
     """
 
-    __slots__ = ("_sim", "_records", "_sequence", "_buckets", "_scan_all", "_nsubs")
+    __slots__ = (
+        "_sim",
+        "_sequence",
+        "_seq_base",
+        "_kind_ids",
+        "_kind_names",
+        "_prefix_cache",
+        "_chunks",
+        "_sealed_len",
+        "_times",
+        "_kids",
+        "_payloads",
+        "_tappend",
+        "_kappend",
+        "_pappend",
+        "_tail_cache",
+        "_buckets",
+        "_scan_all",
+        "_nsubs",
+    )
 
     def __init__(self, sim: "Simulator") -> None:
         self._sim = sim
-        self._records: list[TraceRecord] = []
         self._sequence = 0
+        self._seq_base = 0
+        self._kind_ids: dict[str, int] = {}
+        self._kind_names: list[str] = []
+        self._prefix_cache: dict[str, np.ndarray | None] = {}
+        self._chunks: list[_Chunk] = []
+        self._sealed_len = 0
+        self._new_active()
         self._buckets: dict[
             str, list[tuple[str, typing.Callable[[TraceRecord], None]]]
         ] = {}
         self._scan_all: list[tuple[str, typing.Callable[[TraceRecord], None]]] = []
         self._nsubs = 0
 
-    def record(self, kind: str, **fields: typing.Any) -> TraceRecord:
-        """Append a record stamped with the current simulated time."""
-        self._sequence += 1
-        rec = TraceRecord(self._sim._now, self._sequence, kind, fields)
-        self._records.append(rec)
+    def _new_active(self) -> None:
+        """Fresh list-backed columns for the active chunk; the bound
+        ``append`` methods are cached so ``record()`` pays no attribute
+        lookups on them."""
+        self._times: list[float] = []
+        self._kids: list[int] = []
+        self._payloads: list[dict[str, typing.Any]] = []
+        self._tappend = self._times.append
+        self._kappend = self._kids.append
+        self._pappend = self._payloads.append
+        self._tail_cache: tuple[np.ndarray, np.ndarray, int] | None = None
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, kind: str, **fields: typing.Any) -> None:
+        """Append a record stamped with the current simulated time.
+
+        One array store per column — no per-record object is allocated
+        unless a live subscription matches ``kind`` (then a single
+        :class:`TraceRecord` view is built and shared by all callbacks).
+        Unlike the pre-columnar engine this returns ``None``; use
+        :meth:`last` to inspect what was just recorded.
+        """
+        self._sequence = seq = self._sequence + 1
+        kid = self._kind_ids.get(kind)
+        if kid is None:
+            kid = self._intern(kind)
+        now = self._sim._now
+        self._tappend(now)
+        self._kappend(kid)
+        self._pappend(fields)
         if self._nsubs:
+            rec = None
             dot = kind.find(".")
-            head = kind if dot < 0 else kind[:dot]
-            matches = self._buckets.get(head)
+            matches = self._buckets.get(kind if dot < 0 else kind[:dot])
             if matches:
                 for prefix, callback in matches:
                     if kind.startswith(prefix):
+                        if rec is None:
+                            rec = TraceRecord(now, seq, kind, fields)
                         callback(rec)
             for prefix, callback in self._scan_all:
                 if kind.startswith(prefix):
+                    if rec is None:
+                        rec = TraceRecord(now, seq, kind, fields)
                     callback(rec)
-        return rec
+        if len(self._kids) >= CHUNK_RECORDS:
+            self._seal()
+
+    def _intern(self, kind: str) -> int:
+        kid = self._kind_ids[kind] = len(self._kind_names)
+        self._kind_names.append(kind)
+        self._prefix_cache.clear()  # a new kind may extend any prefix set
+        return kid
+
+    def _seal(self) -> None:
+        """Convert the active chunk's list columns into a sealed
+        struct-of-arrays chunk and start a fresh active chunk."""
+        self._chunks.append(
+            _Chunk(
+                np.asarray(self._times, dtype=np.float64),
+                np.asarray(self._kids, dtype=np.int32),
+                self._seq_base + self._sealed_len + 1,
+                self._payloads,
+            )
+        )
+        self._sealed_len += len(self._kids)
+        self._new_active()
 
     def subscribe(
         self, prefix: str, callback: typing.Callable[[TraceRecord], None]
     ) -> None:
         """Invoke ``callback`` for every future record whose kind starts
-        with ``prefix`` (live monitoring, e.g. the downtime prober)."""
+        with ``prefix`` (live monitoring, e.g. the downtime prober).
+
+        Callback order per record is deterministic: bucketed
+        subscriptions in subscription order, then catch-all (dotless
+        prefix) subscriptions in subscription order.
+        """
         dot = prefix.find(".")
         if dot < 0:
             # "vmm" (or "") could match kinds in any bucket: scan always.
@@ -119,55 +361,224 @@ class Tracer:
             self._buckets.setdefault(prefix[:dot], []).append((prefix, callback))
         self._nsubs += 1
 
+    # -- columnar internals ----------------------------------------------------
+
+    def _prefix_kids(self, prefix: str) -> np.ndarray | None:
+        """Kind-ids whose names start with ``prefix`` (``None`` = all)."""
+        try:
+            return self._prefix_cache[prefix]
+        except KeyError:
+            pass
+        names = self._kind_names
+        if not prefix:
+            kids = None
+        else:
+            matched = [
+                kid for kid, name in enumerate(names) if name.startswith(prefix)
+            ]
+            kids = None if len(matched) == len(names) else np.asarray(
+                matched, dtype=np.int32
+            )
+        self._prefix_cache[prefix] = kids
+        return kids
+
+    def _tail_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Array view of the active chunk, rebuilt only after appends."""
+        n = len(self._kids)
+        cache = self._tail_cache
+        if cache is None or cache[2] != n:
+            cache = (
+                np.asarray(self._times, dtype=np.float64),
+                np.asarray(self._kids, dtype=np.int32),
+                n,
+            )
+            self._tail_cache = cache
+        return cache[0], cache[1]
+
+    def _blocks(self) -> typing.Iterator[tuple[np.ndarray, np.ndarray, int, typing.Any]]:
+        """Yield ``(times, kids, seq0, chunk_or_None)`` per storage block,
+        oldest first; ``None`` marks the active (list-backed) tail."""
+        for chunk in self._chunks:
+            yield chunk.times, chunk.kids, chunk.seq0, chunk
+        if self._kids:
+            times, kids = self._tail_arrays()
+            yield times, kids, self._seq_base + self._sealed_len + 1, None
+
+    def _candidates(
+        self,
+        times: np.ndarray,
+        kids: np.ndarray,
+        wanted: np.ndarray | None,
+        since: float,
+        until: float,
+    ) -> np.ndarray | None:
+        """Row indices inside one block matching kind set and window."""
+        lo, hi = 0, len(times)
+        if since != _NEG_INF:
+            lo = int(np.searchsorted(times, since, side="left"))
+        if until != _POS_INF:
+            hi = int(np.searchsorted(times, until, side="right"))
+        if lo >= hi:
+            return None
+        if wanted is None:
+            return np.arange(lo, hi)
+        window = kids[lo:hi]
+        if len(wanted) == 0:
+            return None
+        if len(wanted) == 1:
+            mask = window == wanted[0]
+        else:
+            mask = np.isin(window, wanted)
+        idx = np.flatnonzero(mask)
+        if len(idx) == 0:
+            return None
+        idx += lo
+        return idx
+
+    def _tail_filter(
+        self, idx: np.ndarray, filters: list[tuple[str, typing.Any]]
+    ) -> list[int]:
+        """Field-equality filtering over the active chunk's payload dicts."""
+        payloads = self._payloads
+        out = []
+        for i in idx:
+            fields = payloads[i]
+            for key, wanted in filters:
+                got = fields.get(key, _MISSING)
+                if got is _MISSING or got != wanted:
+                    break
+            else:
+                out.append(int(i))
+        return out
+
+    def _matches(
+        self,
+        prefix: str,
+        since: float,
+        until: float,
+        filters: list[tuple[str, typing.Any]],
+    ) -> typing.Iterator[tuple[np.ndarray, np.ndarray, int, typing.Any, typing.Any]]:
+        """Yield ``(times, kids, seq0, block, matched_indices)`` per block
+        that has at least one matching row."""
+        wanted = self._prefix_kids(prefix)
+        for times, kids, seq0, chunk in self._blocks():
+            idx = self._candidates(times, kids, wanted, since, until)
+            if idx is None:
+                continue
+            if filters:
+                if chunk is None:
+                    idx = self._tail_filter(idx, filters)
+                else:
+                    idx = chunk.filter_indices(idx, filters)
+                if idx is None or len(idx) == 0:
+                    continue
+            yield times, kids, seq0, chunk, idx
+
+    def _materialize(
+        self,
+        times: np.ndarray,
+        kids: np.ndarray,
+        seq0: int,
+        chunk: typing.Any,
+        i: int,
+    ) -> TraceRecord:
+        fields = self._payloads[i] if chunk is None else chunk.fields_at(i)
+        return TraceRecord(
+            times[i].item(), seq0 + i, self._kind_names[kids[i]], fields
+        )
+
     # -- querying -------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._records)
+        return self._sealed_len + len(self._kids)
 
     def __iter__(self) -> typing.Iterator[TraceRecord]:
-        return iter(self._records)
+        for times, kids, seq0, chunk in self._blocks():
+            for i in range(len(kids)):
+                yield self._materialize(times, kids, seq0, chunk, i)
 
     def select(
         self,
         prefix: str = "",
-        since: float = float("-inf"),
-        until: float = float("inf"),
+        since: float = _NEG_INF,
+        until: float = _POS_INF,
         **field_filters: typing.Any,
     ) -> list[TraceRecord]:
         """Return records matching a kind prefix, time window and fields.
 
         ``field_filters`` keep only records where each named field equals
-        the given value (missing fields never match).
+        the given value (missing fields never match).  The kind and time
+        predicates are evaluated as vector operations over the columns;
+        a :class:`TraceRecord` is materialized per *matching* row only.
         """
-        sentinel = object()
         filters = list(field_filters.items())
-        out = []
-        for rec in self._records:
-            if not rec.kind.startswith(prefix):
-                continue
-            if not (since <= rec.time <= until):
-                continue
-            if any(
-                rec.fields.get(key, sentinel) != value for key, value in filters
-            ):
-                continue
-            out.append(rec)
+        out: list[TraceRecord] = []
+        materialize = self._materialize
+        for times, kids, seq0, chunk, idx in self._matches(
+            prefix, since, until, filters
+        ):
+            for i in idx:
+                out.append(materialize(times, kids, seq0, chunk, i))
         return out
 
-    def first(self, prefix: str, **field_filters: typing.Any) -> TraceRecord | None:
-        """The earliest matching record, or None."""
-        matches = self.select(prefix, **field_filters)
-        return matches[0] if matches else None
+    def first(
+        self,
+        prefix: str,
+        since: float = _NEG_INF,
+        until: float = _POS_INF,
+        **field_filters: typing.Any,
+    ) -> TraceRecord | None:
+        """The earliest record matching prefix, window and fields, or None."""
+        filters = list(field_filters.items())
+        for times, kids, seq0, chunk, idx in self._matches(
+            prefix, since, until, filters
+        ):
+            return self._materialize(times, kids, seq0, chunk, idx[0])
+        return None
 
-    def last(self, prefix: str, **field_filters: typing.Any) -> TraceRecord | None:
-        """The latest matching record, or None."""
-        matches = self.select(prefix, **field_filters)
-        return matches[-1] if matches else None
+    def last(
+        self,
+        prefix: str,
+        since: float = _NEG_INF,
+        until: float = _POS_INF,
+        **field_filters: typing.Any,
+    ) -> TraceRecord | None:
+        """The latest record matching prefix, window and fields, or None."""
+        filters = list(field_filters.items())
+        hit = None
+        for times, kids, seq0, chunk, idx in self._matches(
+            prefix, since, until, filters
+        ):
+            hit = (times, kids, seq0, chunk, idx[-1])
+        if hit is None:
+            return None
+        return self._materialize(*hit)
 
-    def times(self, prefix: str, **field_filters: typing.Any) -> list[float]:
-        """Times of all matching records."""
-        return [rec.time for rec in self.select(prefix, **field_filters)]
+    def times(
+        self,
+        prefix: str,
+        since: float = _NEG_INF,
+        until: float = _POS_INF,
+        **field_filters: typing.Any,
+    ) -> list[float]:
+        """Times of all matching records (vectorized; no record views)."""
+        filters = list(field_filters.items())
+        out: list[float] = []
+        for times, _, _, _, idx in self._matches(prefix, since, until, filters):
+            out.extend(times[idx].tolist())
+        return out
 
     def clear(self) -> None:
-        """Drop all records (subscribers stay)."""
-        self._records.clear()
+        """Drop all records (subscribers stay).
+
+        Invariant: the sequence counter is **not** reset — it keeps
+        growing monotonically across clears, so records made after a
+        ``clear()`` always carry strictly larger sequences than anything
+        recorded (or observed by a subscriber) before it.  Resumable
+        analyses rely on this to order observations across windows
+        without keeping the records themselves.
+        """
+        self._chunks = []
+        self._sealed_len = 0
+        self._seq_base = self._sequence
+        self._new_active()

@@ -12,11 +12,18 @@ callable, because a cold reboot replaces the service object; requests
 against an unreachable or missing service count as failures and are
 retried after a short back-off — which is exactly how a real client's
 throughput collapses to zero during downtime and recovers after it.
+
+Completions are stored columnar (parallel times/paths/nbytes/latency
+lists), mirroring the trace engine: the serving loop allocates no
+per-request object, analyses read :attr:`Httperf.completion_times`
+directly, and the classic list-of-:class:`Completion` view is
+materialized lazily on first access.
 """
 
 from __future__ import annotations
 
 import typing
+from bisect import bisect_left, bisect_right
 
 from repro.errors import ReproError, ServiceError
 from repro.guest.services import Service
@@ -26,8 +33,9 @@ from repro.simkernel import Process, Simulator
 class Completion:
     """One successfully served request (immutable by convention).
 
-    A plain ``__slots__`` class: one is allocated per served request, and
-    the frozen-dataclass ``__init__`` costs several times a direct store.
+    A plain ``__slots__`` class: views are materialized lazily from the
+    columnar store, and the frozen-dataclass ``__init__`` costs several
+    times a direct store.
     """
 
     __slots__ = ("time", "path", "nbytes", "latency")
@@ -74,7 +82,15 @@ class Httperf:
         self._cursor = 0
         self._stopped = False
         self._workers: list[Process] = []
-        self.completions: list[Completion] = []
+        # Columnar completion log.  Times are non-decreasing: workers
+        # append at the simulated instant the reply lands, and the clock
+        # never runs backwards — which is what lets the window queries
+        # below use bisect instead of a full scan.
+        self._times: list[float] = []
+        self._req_paths: list[str] = []
+        self._nbytes: list[int] = []
+        self._latency: list[float] = []
+        self._view: list[Completion] = []
         self.failures = 0
 
     # -- control ----------------------------------------------------------------
@@ -121,7 +137,10 @@ class Httperf:
     def _worker(self) -> typing.Generator:
         sim = self.sim
         lookup = self.lookup
-        completions = self.completions
+        tappend = self._times.append
+        pappend = self._req_paths.append
+        nappend = self._nbytes.append
+        lappend = self._latency.append
         while not self._stopped:
             path = self._next_path()
             if path is None:
@@ -135,40 +154,71 @@ class Httperf:
                     yield sim.timeout(self.retry_interval_s)
                     continue
                 now = sim._now
-                completions.append(Completion(now, path, nbytes, now - issued))
+                tappend(now)
+                pappend(path)
+                nappend(nbytes)
+                lappend(now - issued)
                 break
 
     # -- measurement -----------------------------------------------------------------
 
     @property
+    def completions(self) -> list[Completion]:
+        """The served requests as :class:`Completion` views.
+
+        Materialized lazily from the columnar log and cached by length;
+        treat the returned list as read-only.
+        """
+        view = self._view
+        missing = len(self._times) - len(view)
+        if missing:
+            start = len(view)
+            times, paths = self._times, self._req_paths
+            nbytes, latency = self._nbytes, self._latency
+            view.extend(
+                Completion(times[i], paths[i], nbytes[i], latency[i])
+                for i in range(start, len(times))
+            )
+        return view
+
+    @property
+    def completion_times(self) -> list[float]:
+        """Raw non-decreasing completion timestamps (read-only)."""
+        return self._times
+
+    @property
     def bytes_served(self) -> int:
-        return sum(c.nbytes for c in self.completions)
+        return sum(self._nbytes)
+
+    def _window(self, since: float, until: float) -> tuple[int, int]:
+        """Index range [lo, hi) of completions with since <= time <= until."""
+        return bisect_left(self._times, since), bisect_right(self._times, until)
 
     def mean_rate(
         self, since: float = float("-inf"), until: float = float("inf")
     ) -> float:
         """Mean completions/second over a window."""
-        window = [c for c in self.completions if since <= c.time <= until]
-        if len(window) < 2:
+        lo, hi = self._window(since, until)
+        if hi - lo < 2:
             return 0.0
-        span = window[-1].time - window[0].time
-        return (len(window) - 1) / span if span > 0 else float("inf")
+        span = self._times[hi - 1] - self._times[lo]
+        return (hi - lo - 1) / span if span > 0 else float("inf")
 
     def mean_byte_rate(
         self, since: float = float("-inf"), until: float = float("inf")
     ) -> float:
         """Mean payload bytes/second over a window."""
-        window = [c for c in self.completions if since <= c.time <= until]
-        if len(window) < 2:
+        lo, hi = self._window(since, until)
+        if hi - lo < 2:
             return 0.0
-        span = window[-1].time - window[0].time
-        return sum(c.nbytes for c in window[:-1]) / span if span > 0 else float("inf")
+        span = self._times[hi - 1] - self._times[lo]
+        return sum(self._nbytes[lo : hi - 1]) / span if span > 0 else float("inf")
 
     def throughput_timeline(self, window: int = 50) -> list[tuple[float, float]]:
         """The paper's Figure 7 series: at each completion, the average
         throughput (req/s) of the last ``window`` completions."""
         points: list[tuple[float, float]] = []
-        times = [c.time for c in self.completions]
+        times = self._times
         for i in range(window, len(times)):
             span = times[i] - times[i - window]
             if span > 0:

@@ -30,7 +30,10 @@ def cache_dir(tmp_path, monkeypatch):
     return tmp_path / "cells"
 
 
-@pytest.mark.parametrize("experiment_id", ["FIG5", "FIG6"])
+# SEC53 rides on the watchdog's live trace subscription, so it exercises
+# the columnar engine's lazy-materialization callback path end to end in
+# addition to the sweep plumbing the two figure experiments cover.
+@pytest.mark.parametrize("experiment_id", ["FIG5", "FIG6", "SEC53"])
 def test_serial_parallel_cached_rows_identical(experiment_id, cache_dir):
     serial = run_experiment(experiment_id)
 
@@ -51,6 +54,34 @@ def test_serial_parallel_cached_rows_identical(experiment_id, cache_dir):
     assert serial.rows == parallel.rows == cached.rows
     assert serial.tables == parallel.tables == cached.tables
     assert serial.data == parallel.data == cached.data
+
+
+def test_experiment_results_contain_no_numpy_scalars(cache_dir):
+    # The columnar trace engine and vectorized timeline analysis must
+    # convert back to plain Python scalars at every boundary: a stray
+    # np.float64 in a row would pickle fine but silently change the
+    # bit-identity contract the cache layer compares against.
+    import dataclasses
+
+    import numpy as np
+
+    def walk(value):
+        assert not isinstance(value, (np.generic, np.ndarray)), value
+        if isinstance(value, dict):
+            for k, v in value.items():
+                walk(k)
+                walk(v)
+        elif isinstance(value, (list, tuple, set)):
+            for v in value:
+                walk(v)
+        elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+            for field in dataclasses.fields(value):
+                walk(getattr(value, field.name))
+
+    result = run_experiment("SEC53")
+    walk(result.rows)
+    walk(result.tables)
+    walk(result.data)
 
 
 def test_whole_run_fallback_for_undecomposed_experiment(cache_dir):

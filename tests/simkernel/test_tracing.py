@@ -1,8 +1,9 @@
-"""Unit tests for trace records and the tracer query API."""
+"""Unit tests for the columnar trace engine and the tracer query API."""
 
 import pytest
 
 from repro.simkernel import Simulator
+from repro.simkernel.tracing import CHUNK_RECORDS
 
 
 @pytest.fixture()
@@ -13,14 +14,20 @@ def sim():
 class TestRecording:
     def test_record_stamps_time(self, sim):
         sim.run(until=4.5)
-        rec = sim.trace.record("x.y", a=1)
+        sim.trace.record("x.y", a=1)
+        rec = sim.trace.last("x.")
         assert rec.time == 4.5
         assert rec.kind == "x.y"
         assert rec["a"] == 1
 
     def test_get_with_default(self, sim):
-        rec = sim.trace.record("k")
-        assert rec.get("missing", "dflt") == "dflt"
+        sim.trace.record("k")
+        assert sim.trace.last("k").get("missing", "dflt") == "dflt"
+
+    def test_record_returns_none(self, sim):
+        # Columnar engine: no per-record object is allocated on the
+        # unsubscribed fast path, so there is nothing to return.
+        assert sim.trace.record("k") is None
 
     def test_len_and_iter(self, sim):
         for i in range(3):
@@ -32,6 +39,27 @@ class TestRecording:
         sim.trace.record("k")
         sim.trace.clear()
         assert len(sim.trace) == 0
+
+    def test_sequence_monotone_across_clear(self, sim):
+        """clear() drops records but never resets the sequence counter, so
+        resumable analyses can order observations across windows."""
+        for i in range(3):
+            sim.trace.record("k", i=i)
+        last_before = sim.trace.last("k").sequence
+        sim.trace.clear()
+        assert len(sim.trace) == 0
+        sim.trace.record("k", i=99)
+        after = sim.trace.first("k")
+        assert after.sequence == last_before + 1
+        sim.trace.clear()
+        sim.trace.clear()  # idempotent: empty clears advance nothing
+        sim.trace.record("k")
+        assert sim.trace.first("k").sequence == last_before + 2
+
+    def test_sequences_are_consecutive(self, sim):
+        for i in range(5):
+            sim.trace.record("k", i=i)
+        assert [r.sequence for r in sim.trace] == [1, 2, 3, 4, 5]
 
 
 class TestQueries:
@@ -62,9 +90,98 @@ class TestQueries:
         assert traced.trace.first("nothing.") is None
         assert traced.trace.last("nothing.") is None
 
+    def test_first_and_last_with_window(self, traced):
+        # Satellite: first/last accept the same since/until window as
+        # select, so callsites need not slice a full list to index it.
+        assert traced.trace.first("svc.", since=5).kind == "svc.down"
+        assert traced.trace.first("svc.", since=5, name="web").time == 10
+        assert traced.trace.last("svc.", until=15).fields["name"] == "web"
+        assert traced.trace.last("svc.", until=15).kind == "svc.down"
+        assert traced.trace.first("svc.", since=11, until=19) is None
+        assert traced.trace.last("svc.", since=21) is None
+
     def test_times(self, traced):
         assert traced.trace.times("svc.down") == [10, 10]
 
+    def test_times_with_window(self, traced):
+        assert traced.trace.times("svc.", since=5, until=15) == [10, 10]
+
+    def test_select_empty_prefix_matches_everything(self, traced):
+        assert len(traced.trace.select("")) == len(traced.trace)
+
+    def test_field_filter_missing_key_never_matches(self, traced):
+        assert traced.trace.select("svc.", nonexistent=1) == []
+
+    def test_numeric_field_filter(self, sim):
+        for i in range(4):
+            sim.trace.record("n.x", value=i, half=i / 2)
+        assert len(sim.trace.select("n.", value=2)) == 1
+        assert sim.trace.select("n.", half=1.5)[0]["value"] == 3
+        # A numeric column never equals a string filter value.
+        assert sim.trace.select("n.", value="2") == []
+
+
+class TestColumnarStorage:
+    """The sealed-chunk path must be indistinguishable from the tail."""
+
+    def _fill(self, sim, n):
+        for i in range(n):
+            sim._now = float(i)  # direct stamp: no events needed
+            if i % 3 == 0:
+                sim.trace.record("a.x", i=i, who="even" if i % 2 == 0 else "odd")
+            elif i % 3 == 1:
+                sim.trace.record("a.y", i=i, ratio=i / 7)
+            else:
+                sim.trace.record("b.z", i=i)
+
+    def test_seal_boundary_is_invisible(self, sim):
+        n = CHUNK_RECORDS + 100
+        self._fill(sim, n)
+        trace = sim.trace
+        assert len(trace._chunks) == 1  # one sealed chunk plus a tail
+        assert len(trace) == n
+        # Reference implementation: a Python-level scan over all records.
+        reference = [
+            r for r in trace if r.kind.startswith("a.") and 5 <= r.time <= n - 5
+        ]
+        vectorized = trace.select("a.", since=5, until=n - 5)
+        assert [(r.time, r.sequence, r.kind, r.fields) for r in vectorized] == [
+            (r.time, r.sequence, r.kind, r.fields) for r in reference
+        ]
+
+    def test_typed_columns_round_trip_payload_types(self, sim):
+        self._fill(sim, CHUNK_RECORDS)  # exactly one sealed chunk
+        rec = sim.trace.first("a.y")
+        assert type(rec["i"]) is int
+        assert type(rec["ratio"]) is float
+        assert type(sim.trace.first("a.x")["who"]) is str
+
+    def test_field_filters_across_seal(self, sim):
+        self._fill(sim, CHUNK_RECORDS + 30)
+        matches = sim.trace.select("a.x", who="even")
+        assert matches and all(r["who"] == "even" for r in matches)
+        reference = [
+            r
+            for r in sim.trace
+            if r.kind == "a.x" and r.fields.get("who") == "even"
+        ]
+        assert len(matches) == len(reference)
+
+    def test_first_last_span_chunks(self, sim):
+        self._fill(sim, CHUNK_RECORDS + 30)
+        assert sim.trace.first("a.x")["i"] == 0
+        assert sim.trace.last("b.z").time == sim.trace.times("b.z")[-1]
+
+    def test_clear_resets_chunks(self, sim):
+        self._fill(sim, CHUNK_RECORDS + 10)
+        sim.trace.clear()
+        assert len(sim.trace) == 0
+        assert sim.trace.select("") == []
+        sim.trace.record("a.x", i=-1)
+        assert len(sim.trace) == 1
+
+
+class TestSubscribers:
     def test_subscribe_live(self, sim):
         seen = []
         sim.trace.subscribe("net.", lambda r: seen.append(r.kind))
@@ -72,6 +189,68 @@ class TestQueries:
         sim.trace.record("disk.read")
         sim.trace.record("net.rx")
         assert seen == ["net.tx", "net.rx"]
+
+    def test_dotless_prefix_scans_all_buckets(self, sim):
+        seen = []
+        sim.trace.subscribe("ne", lambda r: seen.append(r.kind))
+        sim.trace.record("net.tx")
+        sim.trace.record("new.thing")
+        sim.trace.record("disk.read")
+        assert seen == ["net.tx", "new.thing"]
+
+    def test_empty_prefix_sees_everything(self, sim):
+        seen = []
+        sim.trace.subscribe("", lambda r: seen.append(r.kind))
+        sim.trace.record("a.b")
+        sim.trace.record("c")
+        assert seen == ["a.b", "c"]
+
+    def test_subscribing_mid_run_sees_only_future_records(self, sim):
+        sim.trace.record("x.before")
+        seen = []
+        sim.trace.subscribe("x.", lambda r: seen.append(r.kind))
+        sim.trace.record("x.after")
+        assert seen == ["x.after"]
+
+    def test_callback_ordering_bucketed_then_catch_all(self, sim):
+        """Per record: bucketed subscriptions fire in subscription order,
+        then dotless catch-all subscriptions in subscription order."""
+        order = []
+        sim.trace.subscribe("svc.", lambda r: order.append("bucket-1"))
+        sim.trace.subscribe("", lambda r: order.append("scan-1"))
+        sim.trace.subscribe("svc.up", lambda r: order.append("bucket-2"))
+        sim.trace.subscribe("svc", lambda r: order.append("scan-2"))
+        sim.trace.record("svc.up")
+        assert order == ["bucket-1", "bucket-2", "scan-1", "scan-2"]
+
+    def test_lazy_materialization_shares_one_record(self, sim):
+        """All callbacks for one record get the same TraceRecord view."""
+        got = []
+        sim.trace.subscribe("svc.", got.append)
+        sim.trace.subscribe("svc.up", got.append)
+        sim.trace.subscribe("", got.append)
+        sim.trace.record("svc.up", name="web")
+        assert len(got) == 3
+        assert got[0] is got[1] is got[2]
+        assert got[0].fields == {"name": "web"}
+        assert got[0].sequence == 1
+
+    def test_no_view_without_matching_subscription(self, sim):
+        """Non-matching records must not reach any callback."""
+        seen = []
+        sim.trace.subscribe("vmm.crash", seen.append)
+        sim.trace.record("vmm.reboot.start")  # same bucket, wrong prefix
+        sim.trace.record("service.down")  # different bucket
+        assert seen == []
+
+    def test_subscriber_sequence_matches_query_sequence(self, sim):
+        seen = []
+        sim.trace.subscribe("k", seen.append)
+        sim.trace.record("k.a")
+        sim.trace.record("k.b")
+        assert [r.sequence for r in seen] == [
+            r.sequence for r in sim.trace.select("k.")
+        ]
 
 
 class TestRandomStreams:
