@@ -1,14 +1,24 @@
-# Developer entry points.  `make ci` is what the CI job runs: the tier-1
-# test suite plus a quick-mode perf smoke that fails on >30% regressions
+# Developer entry points.  `make ci` is what the CI job runs: simlint, the
+# tier-1 test suite (once plain, once under the runtime determinism
+# sanitizer), plus a quick-mode perf smoke that fails on >30% regressions
 # against the committed BENCH_PERF.json baseline.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench perf-check perf-write profile ci
+.PHONY: lint test test-sanitize bench perf-check perf-write profile ci
+
+# Determinism & simulation-safety static analysis (rules SL001-SL006).
+lint:
+	$(PYTHON) -m repro.devtools.simlint src/
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The same tier-1 suite with the runtime determinism sanitizer observing
+# every Simulator; results must be identical (the sanitizer never perturbs).
+test-sanitize:
+	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
@@ -31,4 +41,4 @@ profile:
 	pr = cProfile.Profile(); pr.enable(); run_experiment('FIG9'); \
 	pr.disable(); pstats.Stats(pr).sort_stats('cumulative').print_stats(40)"
 
-ci: test perf-check
+ci: lint test test-sanitize perf-check

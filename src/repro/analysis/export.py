@@ -51,7 +51,8 @@ def series_to_csv(
             raise AnalysisError(
                 f"series {name!r} has a different x-axis; export separately"
             )
-    assert xs_reference is not None
+    if xs_reference is None:
+        raise AnalysisError("no series to export")
     names = list(series)
     widths = {name: len(series[name][0]) - 1 for name in names}
     out = io.StringIO()

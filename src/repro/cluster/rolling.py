@@ -92,7 +92,8 @@ class MigrationRejuvenator:
         """For each host: evacuate, reboot empty, repopulate (a process)."""
         sim = self.cluster.sim
         spare = self.cluster.spare
-        assert spare is not None
+        if spare is None:  # guarded in __init__; re-checked for -O safety
+            raise ClusterError("spare host disappeared before rejuvenation")
         for host in self.cluster.hosts:
             started = sim.now
             names = yield from migrate_all(host, spare, self.migration)

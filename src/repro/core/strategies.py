@@ -207,7 +207,11 @@ def warm_reboot(host: "Host") -> typing.Generator:
 
     t = sim.now
     new_vmm = host.require_vmm()
-    assert isinstance(new_vmm, RootHammerHypervisor)
+    if not isinstance(new_vmm, RootHammerHypervisor):
+        raise RejuvenationError(
+            "warm reboot requires a RootHammerHypervisor, got "
+            f"{type(new_vmm).__name__}"
+        )
     resumed = yield from new_vmm.resume_all_preserved()
     host.apply_creation_quirk(len(resumed))
     host.apply_scheduler_params()

@@ -1,0 +1,6 @@
+"""Developer tooling for the reproduction (not used by simulations).
+
+Currently one tool lives here: :mod:`repro.devtools.simlint`, the
+determinism and simulation-safety static analyzer that CI runs over
+``src/`` (``make lint``).
+"""

@@ -1,0 +1,50 @@
+"""simlint — determinism & simulation-safety static analysis.
+
+The whole reproduction rests on one invariant: a fixed seed reproduces
+every experiment row bit-identically, because equal-timestamp events are
+ordered by ``(priority, sequence)`` and all randomness flows through named
+:class:`~repro.simkernel.rng.RandomStreams`.  Nothing in Python enforces
+that — a single ``time.time()``, an unseeded ``random.random()``, a
+``for`` over a ``set``, or a raw ``heapq.heappush`` onto the simulator's
+heap silently breaks repeatability.  simlint is the codebase-specific net:
+
+======  ==============================================================
+SL001   wall-clock call in simulation code (``time.time``,
+        ``datetime.now``, ``perf_counter``, ...); driver modules may
+        use monotonic clocks for elapsed-time display
+SL002   randomness outside :mod:`repro.simkernel.rng` (module-level
+        ``random`` functions, ``numpy.random``, unseeded generators)
+SL003   iteration over a ``set`` or an ``id()``-keyed dict
+        (nondeterministic order under hash randomization)
+SL004   direct ``heapq`` operation on ``Simulator._heap`` outside
+        ``simkernel/kernel.py``/``events.py`` (bypasses the sequence
+        tiebreaker that pins same-instant ordering)
+SL005   bare ``assert`` in library code (vanishes under ``python -O``)
+SL006   ``record()`` payload keys that do not match the typed columns
+        declared in :data:`repro.simkernel.tracing.TRACE_SCHEMA`
+======  ==============================================================
+
+Run it as ``python -m repro.devtools.simlint src/`` (``--format=json``
+for machine-readable output).  Suppress a finding with a trailing
+``# simlint: skip`` or ``# simlint: skip=SL003`` comment on the flagged
+line, or a ``# simlint: skip-file[=RULES]`` comment anywhere in the file;
+CI treats suppressions in ``src/`` as a review flag, not a free pass.
+"""
+
+from repro.devtools.simlint.analyzer import (
+    Finding,
+    LintError,
+    lint_file,
+    lint_paths,
+)
+from repro.devtools.simlint.cli import main
+from repro.devtools.simlint.rules import RULES
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "RULES",
+    "lint_file",
+    "lint_paths",
+    "main",
+]

@@ -1,0 +1,187 @@
+"""simlint's file layer: parsing, suppression comments, path walking.
+
+Suppression grammar (comments only — string literals never suppress):
+
+* ``# simlint: skip`` — suppress every finding on this line;
+* ``# simlint: skip=SL001,SL003`` — suppress just those rules here;
+* ``# simlint: skip-file`` / ``# simlint: skip-file=SL005`` — same, for
+  the whole file (put it near the top by convention, any line works).
+
+Suppressed findings are dropped from the report but *counted*, so the CLI
+summary still shows how many hazards a file is waving through.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import os
+import tokenize
+import typing
+
+from repro.devtools.simlint.rules import ModulePolicy, RuleVisitor
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One reported rule violation."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict[str, typing.Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class LintError:
+    """A file simlint could not analyze (syntax error, unreadable)."""
+
+    path: str
+    message: str
+
+
+_DIRECTIVE = "simlint:"
+
+
+class _Suppressions:
+    """Parsed suppression directives for one file."""
+
+    def __init__(self) -> None:
+        self.file_all = False
+        self.file_rules: set[str] = set()
+        self.line_all: set[int] = set()
+        self.line_rules: dict[int, set[str]] = {}
+        self.count = 0  # directives seen, for the CLI summary
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        if self.file_all or rule in self.file_rules:
+            return True
+        if line in self.line_all:
+            return True
+        return rule in self.line_rules.get(line, ())
+
+    @classmethod
+    def parse(cls, source: str) -> "_Suppressions":
+        sup = cls()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            comments = [
+                (tok.start[0], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        except tokenize.TokenizeError:
+            return sup  # the AST parse will report the real problem
+        for line, comment in comments:
+            body = comment.lstrip("#").strip()
+            if not body.startswith(_DIRECTIVE):
+                continue
+            directive = body[len(_DIRECTIVE):].strip()
+            keyword, _, rules_part = directive.partition("=")
+            keyword = keyword.strip()
+            rules = {
+                r.strip().upper() for r in rules_part.split(",") if r.strip()
+            }
+            if keyword == "skip-file":
+                sup.count += 1
+                if rules:
+                    sup.file_rules |= rules
+                else:
+                    sup.file_all = True
+            elif keyword == "skip":
+                sup.count += 1
+                if rules:
+                    sup.line_rules.setdefault(line, set()).update(rules)
+                else:
+                    sup.line_all.add(line)
+        return sup
+
+
+def _trace_schema() -> typing.Mapping[str, typing.Any]:
+    from repro.simkernel.tracing import TRACE_SCHEMA
+
+    return TRACE_SCHEMA
+
+
+def lint_source(
+    source: str,
+    path: str,
+    policy: ModulePolicy | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint one module's source text.
+
+    Returns ``(findings, suppressed_count)``; raises :class:`SyntaxError`
+    if the source does not parse.
+    """
+    tree = ast.parse(source, filename=path)
+    raw = RuleVisitor(
+        policy if policy is not None else ModulePolicy.for_path(path),
+        _trace_schema(),
+    ).check(tree)
+    suppressions = _Suppressions.parse(source)
+    findings: list[Finding] = []
+    suppressed = 0
+    for item in raw:
+        if suppressions.suppresses(item.rule, item.line):
+            suppressed += 1
+            continue
+        findings.append(Finding(item.rule, path, item.line, item.col, item.message))
+    return findings, suppressed
+
+
+def lint_file(path: str) -> tuple[list[Finding], int]:
+    """Lint one file; see :func:`lint_source`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return lint_source(handle.read(), path)
+
+
+def iter_python_files(paths: typing.Iterable[str]) -> typing.Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    for target in paths:
+        if os.path.isdir(target):
+            for dirpath, dirnames, filenames in os.walk(target):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in ("__pycache__",)
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        yield os.path.join(dirpath, name)
+        else:
+            yield target
+
+
+def lint_paths(
+    paths: typing.Iterable[str],
+) -> tuple[list[Finding], list[LintError], int]:
+    """Lint every python file under ``paths``.
+
+    Returns ``(findings, errors, suppressed_count)`` with findings ordered
+    by (path, line, col, rule) for stable output.
+    """
+    findings: list[Finding] = []
+    errors: list[LintError] = []
+    suppressed = 0
+    for path in iter_python_files(paths):
+        if not os.path.exists(path):
+            errors.append(LintError(path, "no such file"))
+            continue
+        try:
+            file_findings, file_suppressed = lint_file(path)
+        except SyntaxError as exc:
+            errors.append(LintError(path, f"syntax error: {exc.msg} (line {exc.lineno})"))
+            continue
+        except UnicodeDecodeError:
+            errors.append(LintError(path, "not utf-8 text"))
+            continue
+        findings.extend(file_findings)
+        suppressed += file_suppressed
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, errors, suppressed

@@ -1,0 +1,94 @@
+"""simlint command line: ``python -m repro.devtools.simlint src/``.
+
+Exit codes: 0 clean, 1 findings reported, 2 operational errors (bad
+arguments, unreadable or unparseable files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import typing
+
+from repro.devtools.simlint.analyzer import lint_paths
+from repro.devtools.simlint.rules import RULES
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description=(
+            "Determinism & simulation-safety static analysis for the "
+            "RootHammer reproduction (rules SL001-SL006)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH", help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="SL00X[,SL00Y]",
+        help="only report these rules (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="describe the rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, summary in sorted(RULES.items()):
+            print(f"{rule}  {summary}")
+        return 0
+    if not args.paths:
+        parser.error("the following arguments are required: PATH")
+
+    selected = None
+    if args.rules:
+        selected = {r.strip().upper() for r in args.rules.split(",") if r.strip()}
+        unknown = selected - RULES.keys()
+        if unknown:
+            parser.error(f"unknown rule(s): {', '.join(sorted(unknown))}")
+
+    findings, errors, suppressed = lint_paths(args.paths)
+    if selected is not None:
+        findings = [f for f in findings if f.rule in selected]
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.as_dict() for f in findings],
+                    "errors": [
+                        {"path": e.path, "message": e.message} for e in errors
+                    ],
+                    "suppressed": suppressed,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        for error in errors:
+            print(f"{error.path}: error: {error.message}", file=sys.stderr)
+        summary = f"{len(findings)} finding(s)"
+        if suppressed:
+            summary += f", {suppressed} suppression comment(s) in effect"
+        if errors:
+            summary += f", {len(errors)} file error(s)"
+        print(summary)
+
+    if errors:
+        return 2
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

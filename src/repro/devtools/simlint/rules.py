@@ -1,0 +1,531 @@
+"""The simlint rule engine: one AST walk, six codebase-specific rules.
+
+Every rule is deliberately *syntactic and local* — no type inference, no
+cross-module resolution — so findings are cheap to verify by eye and the
+linter stays dependency-free.  Where a rule needs declared facts (SL006's
+payload schema) they live next to the code they describe
+(:data:`repro.simkernel.tracing.TRACE_SCHEMA`), not here.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import typing
+
+RULES: dict[str, str] = {
+    "SL001": "wall-clock call in simulation code",
+    "SL002": "randomness outside simkernel.rng",
+    "SL003": "iteration over a set or id()-keyed dict",
+    "SL004": "direct heapq operation on Simulator._heap",
+    "SL005": "bare assert in library code",
+    "SL006": "trace record() payload does not match TRACE_SCHEMA",
+}
+
+# SL001 — anything that reads the host clock.  Simulated components must
+# derive time from ``sim.now``; only driver/CLI modules may time *real*
+# work, and then only with a monotonic clock (wall time jumps under NTP).
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.asctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+_MONOTONIC = frozenset(
+    {
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+    }
+)
+
+# SL002 — generator constructors that are deterministic *when seeded*.
+_SEEDABLE = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",
+    }
+)
+
+# SL003 — order-insensitive consumers a set may flow into unflagged.
+_ORDER_SAFE_CALLS = frozenset(
+    {"sorted", "len", "sum", "min", "max", "any", "all", "set", "frozenset", "bool"}
+)
+# ... and order-sensitive ones that materialize the iteration order.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "iter", "enumerate", "reversed"})
+
+_SET_ANNOTATIONS = ("set", "frozenset", "typing.Set", "typing.FrozenSet", "Set", "FrozenSet")
+
+
+@dataclasses.dataclass(frozen=True)
+class ModulePolicy:
+    """Which rules apply to one file, derived from its path."""
+
+    is_rng_module: bool = False  # simkernel/rng.py: SL002 exempt
+    is_heap_owner: bool = False  # simkernel/kernel.py, events.py: SL004 exempt
+    is_driver: bool = False  # CLI/sweep drivers: monotonic clocks allowed
+    is_devtools: bool = False  # not simulation code: SL001-SL003 exempt
+
+    @classmethod
+    def for_path(cls, path: str) -> "ModulePolicy":
+        norm = path.replace("\\", "/")
+        return cls(
+            is_rng_module=norm.endswith("simkernel/rng.py"),
+            is_heap_owner=norm.endswith("simkernel/kernel.py")
+            or norm.endswith("simkernel/events.py"),
+            is_driver=norm.endswith("experiments/cli.py")
+            or norm.endswith("experiments/parallel.py"),
+            is_devtools="repro/devtools/" in norm,
+        )
+
+
+class RawFinding(typing.NamedTuple):
+    rule: str
+    line: int
+    col: int
+    message: str
+
+
+def _qualified_name(
+    node: ast.expr, imports: dict[str, str]
+) -> str | None:
+    """Resolve ``np.random.default_rng`` style chains to dotted names.
+
+    Roots must have been imported in this module (tracked in ``imports``)
+    so a local variable that happens to be called ``random`` never
+    triggers a rule.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    expanded = imports.get(node.id)
+    if expanded is None:
+        return None
+    parts.append(expanded)
+    return ".".join(reversed(parts))
+
+
+def _is_trace_receiver(func: ast.Attribute) -> bool:
+    """True for ``<anything>.trace.record`` / ``trace.record`` chains."""
+    value = func.value
+    if isinstance(value, ast.Attribute):
+        return value.attr == "trace"
+    if isinstance(value, ast.Name):
+        return value.id in ("trace", "tracer")
+    return False
+
+
+def _annotation_is_set(annotation: ast.expr) -> bool:
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    return isinstance(target, (ast.Name, ast.Attribute)) and ast.unparse(
+        target
+    ) in _SET_ANNOTATIONS
+
+
+_MODULE_SCOPE = 0
+"""Scope key for module-level names (visible from any function)."""
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+class _SetFactPass(ast.NodeVisitor):
+    """Pre-pass for SL003: which names/attributes hold sets or
+    ``id()``-keyed dicts in this module.
+
+    Plain names are tracked *per enclosing function* (keyed by the
+    ``id()`` of the function node, shared with :class:`RuleVisitor`'s
+    walk over the same tree) so a local set in one function never taints
+    a same-named list in another.  Attribute names are module-global:
+    ``self._users`` declared a set in ``__init__`` stays a set in every
+    method.
+    """
+
+    def __init__(self) -> None:
+        self.set_names: dict[int, set[str]] = {}
+        self.set_attrs: set[str] = set()
+        self.idkeyed_names: dict[int, set[str]] = {}
+        self.idkeyed_attrs: set[str] = set()
+        self._scope = _MODULE_SCOPE
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_scope(node)
+
+    def _visit_scope(self, node: ast.AST) -> None:
+        outer, self._scope = self._scope, id(node)
+        self.generic_visit(node)
+        self._scope = outer
+
+    def _note_set_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.set_names.setdefault(self._scope, set()).add(target.id)
+        elif isinstance(target, ast.Attribute):
+            self.set_attrs.add(target.attr)
+
+    @staticmethod
+    def _is_set_literal(value: ast.expr | None) -> bool:
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("set", "frozenset")
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_set_literal(node.value):
+            for target in node.targets:
+                self._note_set_target(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if _annotation_is_set(node.annotation) or self._is_set_literal(node.value):
+            self._note_set_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # ``d[id(x)] = ...`` marks d as id-keyed; iterating or sorting it
+        # later would depend on object addresses.
+        index = node.slice
+        if (
+            isinstance(index, ast.Call)
+            and isinstance(index.func, ast.Name)
+            and index.func.id == "id"
+        ):
+            if isinstance(node.value, ast.Name):
+                self.idkeyed_names.setdefault(self._scope, set()).add(
+                    node.value.id
+                )
+            elif isinstance(node.value, ast.Attribute):
+                self.idkeyed_attrs.add(node.value.attr)
+        self.generic_visit(node)
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """Single-walk checker producing :class:`RawFinding` entries."""
+
+    def __init__(
+        self,
+        policy: ModulePolicy,
+        trace_schema: typing.Mapping[str, typing.Any],
+    ) -> None:
+        self.policy = policy
+        self.trace_schema = trace_schema
+        self.findings: list[RawFinding] = []
+        self.imports: dict[str, str] = {}
+        self.set_facts = _SetFactPass()
+        self._scope = _MODULE_SCOPE
+
+    def check(self, tree: ast.AST) -> list[RawFinding]:
+        self.set_facts.visit(tree)
+        self.visit(tree)
+        self.findings.sort(key=lambda f: (f.line, f.col, f.rule))
+        return self.findings
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            RawFinding(rule, node.lineno, node.col_offset, message)
+        )
+
+    # -- scope tracking (mirrors _SetFactPass's walk) ----------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_scope(node)
+
+    def _visit_scope(self, node: ast.AST) -> None:
+        outer, self._scope = self._scope, id(node)
+        self.generic_visit(node)
+        self._scope = outer
+
+    def _name_fact(self, table: dict[int, set[str]], name: str) -> bool:
+        return name in table.get(self._scope, ()) or name in table.get(
+            _MODULE_SCOPE, ()
+        )
+
+    # -- import tracking ---------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.imports[alias.asname or alias.name.split(".")[0]] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    # -- call-centred rules: SL001, SL002, SL003 (partly), SL004, SL006 ----
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        qual = _qualified_name(func, self.imports)
+        if qual is not None:
+            self._check_wall_clock(node, qual)
+            self._check_randomness(node, qual)
+            self._check_heap_access(node, qual)
+        if isinstance(func, ast.Name):
+            self._check_order_sensitive_call(node, func.id)
+        elif isinstance(func, ast.Attribute):
+            if func.attr == "join":
+                self._check_order_sensitive_call(node, "join")
+            if func.attr in ("record", "_trace"):
+                self._check_trace_record(node, func)
+            if (
+                func.attr in ("append", "insert", "extend", "pop")
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "_heap"
+                and not self.policy.is_heap_owner
+            ):
+                self._emit(
+                    "SL004",
+                    node,
+                    "direct mutation of Simulator._heap bypasses the "
+                    "(priority, sequence) tiebreaker; use call_at()/"
+                    "call_in() or an Event",
+                )
+        self.generic_visit(node)
+
+    def _check_wall_clock(self, node: ast.Call, qual: str) -> None:
+        if self.policy.is_devtools or qual not in _WALL_CLOCK:
+            return
+        if self.policy.is_driver and qual in _MONOTONIC:
+            return
+        if self.policy.is_driver:
+            self._emit(
+                "SL001",
+                node,
+                f"{qual}() is not monotonic (jumps under NTP); measure "
+                "elapsed real time with time.perf_counter()",
+            )
+        else:
+            self._emit(
+                "SL001",
+                node,
+                f"{qual}() reads the host clock; simulation code must "
+                "derive time from sim.now",
+            )
+
+    def _check_randomness(self, node: ast.Call, qual: str) -> None:
+        if self.policy.is_rng_module or self.policy.is_devtools:
+            return
+        if not (qual.startswith("random.") or qual.startswith("numpy.random.")):
+            return
+        if qual in _SEEDABLE and (node.args or node.keywords):
+            return  # explicitly seeded generator construction
+        detail = (
+            "unseeded generator" if qual in _SEEDABLE else "global-state RNG"
+        )
+        self._emit(
+            "SL002",
+            node,
+            f"{qual}() is a {detail}; draw from a named "
+            "simkernel.rng.RandomStreams stream instead",
+        )
+
+    def _check_heap_access(self, node: ast.Call, qual: str) -> None:
+        if self.policy.is_heap_owner:
+            return
+        if qual not in ("heapq.heappush", "heapq.heappop", "heapq.heapify"):
+            return
+        if any(
+            isinstance(arg, ast.Attribute) and arg.attr == "_heap"
+            for arg in node.args
+        ):
+            self._emit(
+                "SL004",
+                node,
+                f"{qual.split('.')[-1]}() on Simulator._heap bypasses the "
+                "(priority, sequence) tiebreaker; use call_at()/call_in() "
+                "or an Event",
+            )
+
+    # -- SL003: nondeterministic iteration ---------------------------------
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        ):
+            return True
+        facts = self.set_facts
+        if isinstance(node, ast.Name):
+            return self._name_fact(facts.set_names, node.id)
+        if isinstance(node, ast.Attribute):
+            return node.attr in facts.set_attrs
+        return False
+
+    def _is_idkeyed_expr(self, node: ast.expr) -> bool:
+        # d, d.keys(), d.items(), d.values() for an id-keyed dict d.
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("keys", "items", "values")
+        ):
+            node = node.func.value
+        facts = self.set_facts
+        if isinstance(node, ast.Name):
+            return self._name_fact(facts.idkeyed_names, node.id)
+        if isinstance(node, ast.Attribute):
+            return node.attr in facts.idkeyed_attrs
+        return False
+
+    def _check_iteration(self, node: ast.AST, iterable: ast.expr) -> None:
+        if self.policy.is_devtools:
+            return
+        if self._is_set_expr(iterable):
+            self._emit(
+                "SL003",
+                node,
+                "iterating a set: order depends on hash seeds; iterate a "
+                "list or wrap in sorted()",
+            )
+        elif self._is_idkeyed_expr(iterable):
+            self._emit(
+                "SL003",
+                node,
+                "iterating an id()-keyed dict: order depends on object "
+                "addresses; key by a stable identifier",
+            )
+
+    def _check_order_sensitive_call(self, node: ast.Call, name: str) -> None:
+        if self.policy.is_devtools or not node.args:
+            return
+        arg = node.args[0]
+        if name == "sorted":
+            # sorted() fixes set order, but id() keys stay address-ordered.
+            if self._is_idkeyed_expr(arg):
+                self._emit(
+                    "SL003",
+                    node,
+                    "sorting an id()-keyed dict orders by object address; "
+                    "key by a stable identifier",
+                )
+            return
+        if name in _ORDER_SENSITIVE_CALLS or name == "join":
+            self._check_iteration(node, arg)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node, node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iteration(node.iter, node.iter)
+        self.generic_visit(node)
+
+    # -- SL005: bare asserts ----------------------------------------------
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._emit(
+            "SL005",
+            node,
+            "bare assert vanishes under python -O; raise SimulationError/"
+            "ValueError (or a narrower repro error) instead",
+        )
+        self.generic_visit(node)
+
+    # -- SL006: trace payload schema ---------------------------------------
+
+    def _check_trace_record(self, node: ast.Call, func: ast.Attribute) -> None:
+        is_helper = func.attr == "_trace"
+        if not is_helper and not _is_trace_receiver(func):
+            return
+        if not node.args:
+            return
+        kind_node = node.args[0]
+        # The hypervisor's _trace() helper stamps vmm_generation itself.
+        implicit = frozenset({"vmm_generation"}) if is_helper else frozenset()
+        keys = {kw.arg for kw in node.keywords if kw.arg is not None}
+        has_star_kwargs = any(kw.arg is None for kw in node.keywords)
+
+        if isinstance(kind_node, ast.Constant) and isinstance(kind_node.value, str):
+            spec = self.trace_schema.get(kind_node.value)
+            if spec is None:
+                self._emit(
+                    "SL006",
+                    node,
+                    f"trace kind {kind_node.value!r} is not declared in "
+                    "simkernel.tracing.TRACE_SCHEMA",
+                )
+                return
+            required, allowed = spec.required, spec.allowed
+        elif isinstance(kind_node, ast.JoinedStr) and kind_node.values:
+            first = kind_node.values[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                return
+            prefix = first.value
+            family = [
+                spec
+                for kind, spec in self.trace_schema.items()
+                if kind.startswith(prefix)
+            ]
+            if not family:
+                self._emit(
+                    "SL006",
+                    node,
+                    f"no trace kind declared in TRACE_SCHEMA matches "
+                    f"prefix {prefix!r}",
+                )
+                return
+            required = frozenset.intersection(*(s.required for s in family))
+            allowed = frozenset.union(*(s.allowed for s in family))
+        else:
+            return  # dynamic kind (a variable): not statically checkable
+
+        unexpected = keys - allowed - implicit
+        if unexpected:
+            self._emit(
+                "SL006",
+                node,
+                f"payload key(s) {sorted(unexpected)} not declared for this "
+                "trace kind in TRACE_SCHEMA",
+            )
+        if not has_star_kwargs:
+            missing = required - keys - implicit
+            if missing:
+                self._emit(
+                    "SL006",
+                    node,
+                    f"required payload key(s) {sorted(missing)} missing "
+                    "for this trace kind (declared in TRACE_SCHEMA)",
+                )

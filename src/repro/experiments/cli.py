@@ -99,7 +99,8 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
 
     jobs = args.jobs if args.jobs is not None else os.cpu_count() or 1
     stats = SweepStats()
-    started = time.time()
+    # perf_counter, not time.time: wall time jumps under NTP (simlint SL001).
+    started = time.perf_counter()
     try:
         results = run_all_parallel(
             full=args.full,
@@ -111,7 +112,7 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    elapsed = time.time() - started
+    elapsed = time.perf_counter() - started
 
     failures = 0
     for key in targets:

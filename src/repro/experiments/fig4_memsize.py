@@ -12,6 +12,7 @@ import sys
 import typing
 
 from repro.analysis.report import ComparisonRow, render_table
+from repro.errors import ConfigError
 from repro.experiments.common import (
     ExperimentResult,
     build_testbed,
@@ -116,7 +117,8 @@ def assemble(
     )
 
     # The paper quotes its Figure 4 anchors at the largest size, 11 GB.
-    assert sizes[-1] == 11, "Figure 4 anchors require the 11 GiB point"
+    if sizes[-1] != 11:
+        raise ConfigError("Figure 4 anchors require the 11 GiB point")
     onmem_s, onmem_r = series["on-memory"][-1][1:]
     save_s, save_r = series["xen-save"][-1][1:]
     result.rows = [

@@ -13,6 +13,7 @@ import typing
 
 from repro.analysis.fitting import fit_line
 from repro.analysis.report import ComparisonRow, render_table
+from repro.errors import ConfigError
 from repro.experiments.common import (
     ExperimentResult,
     build_testbed,
@@ -101,7 +102,8 @@ def assemble(
         )
     )
 
-    assert counts[-1] == 11, "Figure 5 anchors require the 11-VM point"
+    if counts[-1] != 11:
+        raise ConfigError("Figure 5 anchors require the 11-VM point")
     onmem_s, onmem_r = series["on-memory"][-1][1:]
     xen_s, xen_r = series["xen-save"][-1][1:]
     boot_fit = fit_line(

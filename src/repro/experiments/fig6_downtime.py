@@ -17,6 +17,7 @@ import typing
 
 from repro.analysis.downtime import reboot_downtime_summary
 from repro.analysis.report import ComparisonRow, render_table
+from repro.errors import ConfigError
 from repro.experiments.common import (
     ExperimentResult,
     build_testbed,
@@ -119,7 +120,8 @@ def assemble(
             + render_table(["VMs", "warm", "saved", "cold"], table_rows)
         )
         result.data[kind] = curves
-        assert counts[-1] == 11
+        if counts[-1] != 11:
+            raise ConfigError("Figure 6 anchors require the 11-VM point")
         for strategy in strategies:
             result.rows.append(
                 ComparisonRow(

@@ -11,7 +11,9 @@ This subpackage is self-contained (no dependencies on the rest of
   contention points;
 * :class:`~repro.simkernel.sharing.SharedPool` — fluid processor sharing;
 * :class:`~repro.simkernel.tracing.Tracer` — typed trace records;
-* :class:`~repro.simkernel.rng.RandomStreams` — named seeded RNG streams.
+* :class:`~repro.simkernel.rng.RandomStreams` — named seeded RNG streams;
+* :class:`~repro.simkernel.sanitizer.DeterminismSanitizer` — opt-in runtime
+  determinism checks (``Simulator(sanitize=True)`` / ``REPRO_SANITIZE=1``).
 """
 
 from repro.simkernel.events import AllOf, AnyOf, Event, Interrupt, Timeout
@@ -19,18 +21,26 @@ from repro.simkernel.kernel import Simulator, TimerHandle
 from repro.simkernel.process import Process
 from repro.simkernel.resources import Request, Resource, Store
 from repro.simkernel.rng import RandomStreams
+from repro.simkernel.sanitizer import (
+    DeterminismSanitizer,
+    DeterminismWarning,
+    SanitizerReport,
+)
 from repro.simkernel.sharing import SharedPool
 from repro.simkernel.tracing import TraceRecord, Tracer
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "DeterminismSanitizer",
+    "DeterminismWarning",
     "Event",
     "Interrupt",
     "Process",
     "RandomStreams",
     "Request",
     "Resource",
+    "SanitizerReport",
     "SharedPool",
     "Simulator",
     "Store",

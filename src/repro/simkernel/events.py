@@ -100,6 +100,7 @@ class Event:
     def succeed(self, value: typing.Any = None) -> "Event":
         """Decide a successful outcome and queue callback processing."""
         if self._state != PENDING:
+            self._note_double_trigger("succeed")
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
@@ -121,6 +122,7 @@ class Event:
         bandwidth share is paid) use this on their hot path.
         """
         if self._state != PENDING:
+            self._note_double_trigger("succeed_at")
             raise SimulationError(f"{self!r} already triggered")
         sim = self.sim
         if time < sim._now:
@@ -139,6 +141,7 @@ class Event:
         if not isinstance(exception, BaseException):
             raise TypeError(f"fail() needs an exception, got {exception!r}")
         if self._state != PENDING:
+            self._note_double_trigger("fail")
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
@@ -160,6 +163,12 @@ class Event:
     def defuse(self) -> None:
         """Mark a failure as handled so the simulator will not re-raise it."""
         self._defused = True
+
+    def _note_double_trigger(self, method: str) -> None:
+        """Tell the sanitizer (if any) before the already-triggered raise."""
+        sanitizer = getattr(self.sim, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.on_double_trigger(self, method)
 
     # -- callbacks ---------------------------------------------------------
 

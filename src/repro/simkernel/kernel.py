@@ -23,6 +23,7 @@ a property the test suite and the paper-reproduction experiments rely on.
 from __future__ import annotations
 
 import heapq
+import os
 import typing
 
 from repro.errors import SimulationError
@@ -49,7 +50,9 @@ class TimerHandle:
     compacts the heap if cancelled handles ever dominate it.
     """
 
-    __slots__ = ("_cancelled", "_sim", "callback", "time")
+    # _san_origin is set only by the determinism sanitizer and stays unset
+    # otherwise — readers must use getattr(handle, "_san_origin", None).
+    __slots__ = ("_cancelled", "_san_origin", "_sim", "callback", "time")
 
     def __init__(
         self,
@@ -86,9 +89,20 @@ class Simulator:
     trace:
         Optional :class:`~repro.simkernel.tracing.Tracer`; if omitted a fresh
         one is created so instrumentation is always available.
+    sanitize:
+        ``True`` attaches a
+        :class:`~repro.simkernel.sanitizer.DeterminismSanitizer` (exposed as
+        ``sim.sanitizer``) that observes the run for determinism hazards
+        without perturbing it.  ``None`` (the default) consults the
+        ``REPRO_SANITIZE`` environment variable.
     """
 
-    def __init__(self, start_time: float = 0.0, trace: typing.Any = None) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        trace: typing.Any = None,
+        sanitize: bool | None = None,
+    ) -> None:
         from repro.simkernel.tracing import Tracer  # local import: cycle guard
 
         self._now = float(start_time)
@@ -100,6 +114,14 @@ class Simulator:
         # no per-record object unless a live subscription matches, so
         # always-on tracing stays off the event hot path's flamegraph.
         self.trace = trace if trace is not None else Tracer(self)
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+        if sanitize:
+            from repro.simkernel.sanitizer import DeterminismSanitizer
+
+            self.sanitizer: typing.Any = DeterminismSanitizer(self)
+        else:
+            self.sanitizer = None
 
     # -- clock -------------------------------------------------------------
 
@@ -150,6 +172,8 @@ class Simulator:
         if time < self._now:
             raise SimulationError(f"call_at({time}) is in the past (now={self._now})")
         handle = TimerHandle(time, callback, self)
+        if self.sanitizer is not None:
+            self.sanitizer.note_timer(handle)
         self._sequence += 1
         heapq.heappush(self._heap, (time, PRIORITY_NORMAL, self._sequence, handle))
         return handle
@@ -229,15 +253,20 @@ class Simulator:
         heap = self._heap
         if not heap:
             raise SimulationError("step() with an empty event queue")
+        san = self.sanitizer
         while heap:
-            time, _, _, item = heapq.heappop(heap)
+            time, priority, _, item = heapq.heappop(heap)
             if type(item) is TimerHandle:
                 if item._cancelled:
                     self._cancelled_timers -= 1
                     continue
+                if san is not None:
+                    san.on_execute(time, priority, item)
                 self._now = time
                 item.callback()
             else:
+                if san is not None:
+                    san.on_execute(time, priority, item)
                 self._now = time
                 item._process()
             return
@@ -254,7 +283,11 @@ class Simulator:
           return its value (re-raising its exception on failure).
         """
         # The loops below inline step() — one dynamic dispatch per event is
-        # measurable at millions of events per experiment.
+        # measurable at millions of events per experiment.  The sanitized
+        # variant lives in _run_sanitized so these loops carry no per-event
+        # branch when the sanitizer is off.
+        if self.sanitizer is not None:
+            return self._run_sanitized(until)
         heap = self._heap
         heappop = heapq.heappop
 
@@ -310,6 +343,80 @@ class Simulator:
                 item._process()
         self._now = deadline
         return None
+
+    def _run_sanitized(self, until: float | Event | None) -> typing.Any:
+        """The :meth:`run` semantics with sanitizer observation hooks.
+
+        Kept as a separate loop so the unsanitized hot loops in
+        :meth:`run` never pay for the hooks.  The observable simulation —
+        pop order, clock advances, callback execution — is identical.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        san = self.sanitizer
+
+        try:
+            if isinstance(until, Event):
+                stop = until
+                while stop._state != PROCESSED:
+                    if not heap:
+                        raise SimulationError(
+                            f"event queue exhausted before {stop!r} fired"
+                        )
+                    time, priority, _, item = heappop(heap)
+                    if type(item) is TimerHandle:
+                        if item._cancelled:
+                            self._cancelled_timers -= 1
+                            continue
+                        san.on_execute(time, priority, item)
+                        self._now = time
+                        item.callback()
+                    else:
+                        san.on_execute(time, priority, item)
+                        self._now = time
+                        item._process()
+                if not stop._ok:
+                    stop.defuse()
+                    raise stop.value
+                return stop._value
+
+            if until is None:
+                while heap:
+                    time, priority, _, item = heappop(heap)
+                    if type(item) is TimerHandle:
+                        if item._cancelled:
+                            self._cancelled_timers -= 1
+                            continue
+                        san.on_execute(time, priority, item)
+                        self._now = time
+                        item.callback()
+                    else:
+                        san.on_execute(time, priority, item)
+                        self._now = time
+                        item._process()
+                san.on_queue_exhausted()
+                return None
+
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError(f"run(until={deadline}) is in the past")
+            while heap and heap[0][0] <= deadline:
+                time, priority, _, item = heappop(heap)
+                if type(item) is TimerHandle:
+                    if item._cancelled:
+                        self._cancelled_timers -= 1
+                        continue
+                    san.on_execute(time, priority, item)
+                    self._now = time
+                    item.callback()
+                else:
+                    san.on_execute(time, priority, item)
+                    self._now = time
+                    item._process()
+            self._now = deadline
+            return None
+        finally:
+            san.on_run_exit()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Simulator t={self._now:.6g} pending={len(self._heap)}>"

@@ -76,6 +76,8 @@ class Process(Event):
         # freshly spawned process starts before ordinary events at this
         # instant are processed.
         sim._call_soon_urgent(self._start)
+        if sim.sanitizer is not None:
+            sim.sanitizer.register_process(self)
 
     # -- public API --------------------------------------------------------
 

@@ -66,6 +66,8 @@ class Resource:
         self._users: set[Request] = set()
         self._queue: list[tuple[int, int, Request]] = []
         self._sequence = 0
+        if sim.sanitizer is not None:
+            sim.sanitizer.register_waitable(self)
 
     @property
     def count(self) -> int:
@@ -122,6 +124,8 @@ class Store:
         self.name = name
         self._items: list[typing.Any] = []
         self._getters: list[Event] = []
+        if sim.sanitizer is not None:
+            sim.sanitizer.register_waitable(self)
 
     @property
     def items(self) -> list[typing.Any]:

@@ -23,14 +23,11 @@ from __future__ import annotations
 
 import itertools
 import typing
-from heapq import heappush
-
 from repro.errors import SimulationError
-from repro.simkernel.events import Event, PRIORITY_NORMAL
-from repro.simkernel.kernel import TimerHandle
+from repro.simkernel.events import Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover
-    from repro.simkernel.kernel import Simulator
+    from repro.simkernel.kernel import Simulator, TimerHandle
 
 _EPSILON = 1e-9
 
@@ -149,10 +146,7 @@ class SharedPool:
             dt = job.remaining / share
             deadline = now + dt
             if deadline > now:
-                handle = TimerHandle(deadline, self._on_timer, sim)
-                sim._sequence += 1
-                heappush(sim._heap, (deadline, PRIORITY_NORMAL, sim._sequence, handle))
-                self._timer = handle
+                self._timer = sim.call_at(deadline, self._on_timer)
             else:
                 self._reschedule()
             return event
@@ -346,10 +340,7 @@ class SharedPool:
             now = sim._now
             deadline = now + nearest_dt
             if deadline > now:
-                handle = TimerHandle(deadline, self._on_timer, sim)
-                sim._sequence += 1
-                heappush(sim._heap, (deadline, PRIORITY_NORMAL, sim._sequence, handle))
-                self._timer = handle
+                self._timer = sim.call_at(deadline, self._on_timer)
                 return
             # No representable time advance is possible: finish it now.
             nearest.remaining = 0.0

@@ -45,6 +45,88 @@ CHUNK_RECORDS = 8192
 """Records per sealed chunk: large enough to amortize sealing to noise,
 small enough that the active (list-backed) tail stays cache-friendly."""
 
+
+class TraceKindSpec(typing.NamedTuple):
+    """Declared payload shape for one trace kind (see :data:`TRACE_SCHEMA`)."""
+
+    required: frozenset[str]
+    optional: frozenset[str] = frozenset()
+
+    @property
+    def allowed(self) -> frozenset[str]:
+        return self.required | self.optional
+
+
+def _spec(*required: str, optional: typing.Iterable[str] = ()) -> TraceKindSpec:
+    return TraceKindSpec(frozenset(required), frozenset(optional))
+
+
+TRACE_SCHEMA: dict[str, TraceKindSpec] = {
+    # hardware layer
+    "hw.reset.start": _spec("machine"),
+    "hw.reset.done": _spec("machine", "post_s"),
+    "hw.quick_reload": _spec("machine"),
+    # hypervisor (Hypervisor._trace stamps vmm_generation on every kind)
+    "vmm.boot.start": _spec("vmm_generation"),
+    "vmm.boot.done": _spec("vmm_generation", "duration"),
+    "vmm.scrub.done": _spec("vmm_generation", "gib", "duration"),
+    "vmm.dom0.created": _spec("vmm_generation"),
+    "vmm.domain.created": _spec("vmm_generation", "domain", "domid"),
+    "vmm.domain.destroyed": _spec("vmm_generation", "domain"),
+    "vmm.console": _spec("vmm_generation", "domain", "message"),
+    "vmm.save.start": _spec("vmm_generation", "domain"),
+    "vmm.save.done": _spec("vmm_generation", "domain"),
+    "vmm.restore.done": _spec("vmm_generation", "domain"),
+    "vmm.shutdown.start": _spec("vmm_generation"),
+    "vmm.shutdown.done": _spec("vmm_generation"),
+    "vmm.crash": _spec("vmm_generation", "reason"),
+    "vmm.xexec.loaded": _spec("vmm_generation"),
+    "vmm.onmem.suspended": _spec("vmm_generation", "domain"),
+    "vmm.onmem.resumed": _spec("vmm_generation", "domain"),
+    "vmm.preserved.reserved": _spec("vmm_generation", "domain"),
+    # host orchestration
+    "host.started": _spec("host"),
+    "host.dom0.booted": _spec("host"),
+    "host.dom0.shutdown": _spec("host"),
+    "host.quirk.slump.start": _spec("host"),
+    "host.quirk.slump.end": _spec("host"),
+    "host.crash_recovery.start": _spec("host"),
+    "host.crash_recovery.done": _spec("host", "duration"),
+    # reboot strategies
+    "reboot.start": _spec("host", "strategy"),
+    "reboot.phase": _spec("host", "strategy", "phase", "start", "end"),
+    "reboot.done": _spec("host", "strategy", "total"),
+    # guest lifecycle
+    "guest.boot.start": _spec("domain"),
+    "guest.boot.done": _spec("domain"),
+    "guest.shutdown.start": _spec("domain"),
+    "guest.shutdown.done": _spec("domain"),
+    "guest.rejuvenation.start": _spec("domain"),
+    "guest.rejuvenation.done": _spec("domain", "duration"),
+    # service availability (the Figure 6 downtime signal)
+    "service.up": _spec("service", "service_kind", "domain", optional=["reason"]),
+    "service.down": _spec("service", "service_kind", "domain", optional=["reason"]),
+    "service.microreboot": _spec("domain", "service"),
+    # cluster-level live migration
+    "migration.start": _spec("domain", "source", "destination"),
+    "migration.done": _spec("domain", "source", "destination"),
+    # workloads and monitoring
+    "tcp.session.closed": _spec("session", "outcome", "service"),
+    "probe.up": _spec("prober", "downtime"),
+    "probe.down": _spec("prober"),
+    "watchdog.detected": _spec("host"),
+    "aging.threshold.trigger": _spec("utilization"),
+}
+"""Declared payload columns per trace kind.
+
+This is the contract ``repro.devtools.simlint`` rule SL006 enforces
+statically: every ``record()`` call with a literal kind must name a kind
+declared here and pass exactly the required payload keys (plus any of the
+optional ones).  Keeping the declaration next to the columnar engine makes
+the schema the single source of truth for both the linter and readers
+asking "what fields does this kind carry?".
+"""
+
 _MISSING = object()
 """Sentinel for 'this record has no such payload field' inside columns."""
 

@@ -1,0 +1,195 @@
+"""Tests for the simlint static analyzer (rules, suppressions, CLI)."""
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.devtools.simlint import RULES, lint_paths, main
+from repro.devtools.simlint.analyzer import lint_source
+
+_HERE = os.path.dirname(__file__)
+_FIXTURE = os.path.join(_HERE, "fixtures", "planted_violations.py")
+_SRC = os.path.join(_HERE, os.pardir, os.pardir, "src")
+
+
+def _lint_snippet(snippet, path="example/module.py"):
+    findings, _ = lint_source(textwrap.dedent(snippet), path)
+    return findings
+
+
+class TestPlantedFixture:
+    def test_every_rule_fires_exactly_once(self):
+        findings, errors, suppressed = lint_paths([_FIXTURE])
+        assert not errors
+        assert suppressed == 0
+        assert [f.rule for f in findings] == sorted(RULES)
+
+    def test_findings_carry_location_and_message(self):
+        findings, _, _ = lint_paths([_FIXTURE])
+        by_rule = {f.rule: f for f in findings}
+        assert by_rule["SL001"].line == 14
+        assert "time.time" in by_rule["SL001"].message
+        assert by_rule["SL006"].path == _FIXTURE
+        assert "vmm_generation" in by_rule["SL006"].message
+
+
+class TestRuleEdges:
+    def test_seeded_generator_construction_is_allowed(self):
+        assert not _lint_snippet(
+            """
+            import random
+
+            def make(seed):
+                return random.Random(seed)
+            """
+        )
+
+    def test_unseeded_generator_construction_is_flagged(self):
+        (finding,) = _lint_snippet(
+            """
+            import random
+
+            def make():
+                return random.Random()
+            """
+        )
+        assert finding.rule == "SL002"
+
+    def test_sorted_set_iteration_is_allowed(self):
+        assert not _lint_snippet(
+            """
+            def hosts(pool):
+                for host in sorted({"a", "b"}):
+                    yield host
+            """
+        )
+
+    def test_set_facts_are_scoped_to_the_assigning_function(self):
+        # `names` is a set in one function and a list in another; only the
+        # set-assigning function's iteration is flagged.
+        findings = _lint_snippet(
+            """
+            def uses_set():
+                names = {"a", "b"}
+                return [n for n in names]
+
+            def uses_list():
+                names = ["a", "b"]
+                return [n for n in names]
+            """
+        )
+        assert [f.rule for f in findings] == ["SL003"]
+
+    def test_monotonic_clock_allowed_in_driver_modules(self):
+        snippet = """
+            import time
+
+            def elapsed(t0):
+                return time.perf_counter() - t0
+            """
+        assert not _lint_snippet(snippet, path="src/repro/experiments/cli.py")
+        (finding,) = _lint_snippet(snippet, path="src/repro/core/host.py")
+        assert finding.rule == "SL001"
+
+    def test_heap_owner_modules_may_push(self):
+        snippet = """
+            import heapq
+
+            def push(self, entry):
+                heapq.heappush(self._heap, entry)
+            """
+        assert not _lint_snippet(snippet, path="src/repro/simkernel/kernel.py")
+        (finding,) = _lint_snippet(snippet, path="src/repro/guest/vm.py")
+        assert finding.rule == "SL004"
+
+    def test_unknown_trace_kind_is_flagged(self):
+        (finding,) = _lint_snippet(
+            """
+            def emit(sim):
+                sim.trace.record("no.such.kind", host="h0")
+            """
+        )
+        assert finding.rule == "SL006"
+        assert "no.such.kind" in finding.message
+
+
+class TestSuppressions:
+    def test_line_skip_suppresses_and_counts(self):
+        findings, suppressed = lint_source(
+            "def f(x):\n    assert x  # simlint: skip\n",
+            "example/module.py",
+        )
+        assert not findings
+        assert suppressed == 1
+
+    def test_line_skip_with_rule_list_is_selective(self):
+        source = (
+            "import time\n"
+            "def f(x):\n"
+            "    assert time.time()  # simlint: skip=SL005\n"
+        )
+        findings, suppressed = lint_source(source, "example/module.py")
+        assert [f.rule for f in findings] == ["SL001"]
+        assert suppressed == 1
+
+    def test_file_skip_suppresses_everything(self):
+        source = (
+            "# simlint: skip-file\n"
+            "def f(x):\n"
+            "    assert x\n"
+        )
+        findings, suppressed = lint_source(source, "example/module.py")
+        assert not findings
+        assert suppressed == 1
+
+    def test_directive_in_string_literal_does_not_suppress(self):
+        source = (
+            'NOTE = "simlint: skip"\n'
+            "def f(x):\n"
+            "    assert x\n"
+        )
+        findings, _ = lint_source(source, "example/module.py")
+        assert [f.rule for f in findings] == ["SL005"]
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f():\n    return 1\n")
+        assert main([str(clean)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one_with_text_report(self, capsys):
+        assert main([_FIXTURE]) == 1
+        out = capsys.readouterr().out
+        assert "SL001" in out and "6 finding(s)" in out
+
+    def test_json_format_is_machine_readable(self, capsys):
+        assert main(["--format=json", _FIXTURE]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in payload["findings"]} == set(RULES)
+        assert payload["errors"] == []
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        assert main([str(broken)]) == 2
+        captured = capsys.readouterr()
+        assert "syntax error" in captured.err
+        assert "1 file error(s)" in captured.out
+
+    def test_rule_filter(self, capsys):
+        assert main(["--rules=SL005", _FIXTURE]) == 1
+        out = capsys.readouterr().out
+        assert "SL005" in out and "SL001" not in out
+
+
+class TestSourceTreeIsClean:
+    def test_src_lints_clean_with_no_suppressions(self):
+        """The acceptance bar: all rules active, zero waivers in src/."""
+        findings, errors, suppressed = lint_paths([_SRC])
+        assert not errors
+        assert findings == []
+        assert suppressed == 0
