@@ -1,14 +1,15 @@
 # Developer entry points.  `make ci` is what the CI job runs: simlint, the
 # tier-1 test suite (once plain, once under the runtime determinism
-# sanitizer), plus a quick-mode perf smoke that fails on >30% regressions
-# against the committed BENCH_PERF.json baseline.
+# sanitizer), a scenario-spec schema check + dry-build, plus a quick-mode
+# perf smoke that fails on >30% regressions against the committed
+# BENCH_PERF.json baseline.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test test-sanitize bench perf-check perf-write profile ci
+.PHONY: lint test test-sanitize scenarios bench perf-check perf-write profile ci
 
-# Determinism & simulation-safety static analysis (rules SL001-SL006).
+# Determinism & simulation-safety static analysis (rules SL001-SL007).
 lint:
 	$(PYTHON) -m repro.devtools.simlint src/
 
@@ -19,6 +20,12 @@ test:
 # every Simulator; results must be identical (the sanitizer never perturbs).
 test-sanitize:
 	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q
+
+# Schema-check every committed spec file, then dry-build each of them
+# plus every registered scenario, so spec/schema drift fails CI fast.
+scenarios:
+	$(PYTHON) -m repro.scenario validate examples/*.toml
+	$(PYTHON) -m repro.scenario build examples/*.toml $$($(PYTHON) -m repro.scenario list | awk '{print $$1}')
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
@@ -41,4 +48,4 @@ profile:
 	pr = cProfile.Profile(); pr.enable(); run_experiment('FIG9'); \
 	pr.disable(); pstats.Stats(pr).sort_stats('cumulative').print_stats(40)"
 
-ci: lint test test-sanitize perf-check
+ci: lint test test-sanitize scenarios perf-check

@@ -20,7 +20,13 @@ from repro.simkernel import RandomStreams, Simulator
 
 
 class Cluster:
-    """``size`` identical hosts, each running the same VM layout."""
+    """``size`` hosts behind one load balancer.
+
+    By default every host runs the same ``vms_per_host`` × ``services``
+    fleet; pass ``vm_layout`` (one sequence of :class:`VMSpec` per host)
+    for heterogeneous fleets, and ``host_names`` to override the
+    ``host{i}`` naming (names also key each host's RNG stream).
+    """
 
     def __init__(
         self,
@@ -31,28 +37,42 @@ class Cluster:
         profile: TimingProfile | None = None,
         spare: bool = False,
         seed: int = 0,
+        vm_layout: typing.Sequence[typing.Sequence[VMSpec]] | None = None,
+        host_names: typing.Sequence[str] | None = None,
         **host_kwargs: typing.Any,
     ) -> None:
         if size < 1:
             raise ClusterError("a cluster needs at least one host")
         if vms_per_host < 1:
             raise ClusterError("each host needs at least one VM")
+        if vm_layout is not None and len(vm_layout) != size:
+            raise ClusterError(
+                f"vm_layout describes {len(vm_layout)} hosts, size is {size}"
+            )
+        if host_names is not None and len(host_names) != size:
+            raise ClusterError(
+                f"host_names names {len(host_names)} hosts, size is {size}"
+            )
         self.sim = sim
         self.profile = profile if profile is not None else paper_testbed()
         streams = RandomStreams(seed)
         self.hosts: list[Host] = []
         for index in range(size):
+            name = host_names[index] if host_names is not None else f"host{index}"
             host = Host(
                 sim,
                 profile=self.profile,
-                name=f"host{index}",
-                streams=streams.spawn(f"host{index}"),
+                name=name,
+                streams=streams.spawn(name),
                 **host_kwargs,
             )
-            host.install_vms(
-                VMSpec(f"host{index}-vm{v}", services=services)
-                for v in range(vms_per_host)
-            )
+            if vm_layout is not None:
+                host.install_vms(vm_layout[index])
+            else:
+                host.install_vms(
+                    VMSpec(f"host{index}-vm{v}", services=services)
+                    for v in range(vms_per_host)
+                )
             self.hosts.append(host)
         self.spare: Host | None = None
         if spare:

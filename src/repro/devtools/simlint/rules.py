@@ -20,6 +20,7 @@ RULES: dict[str, str] = {
     "SL004": "direct heapq operation on Simulator._heap",
     "SL005": "bare assert in library code",
     "SL006": "trace record() payload does not match TRACE_SCHEMA",
+    "SL007": "ad-hoc stack construction in an experiment module",
 }
 
 # SL001 — anything that reads the host clock.  Simulated components must
@@ -75,6 +76,12 @@ _ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "iter", "enumerate", "rever
 
 _SET_ANNOTATIONS = ("set", "frozenset", "typing.Set", "typing.FrozenSet", "Set", "FrozenSet")
 
+# SL007 — stack entry points experiment modules must not call directly.
+# Experiments build their testbeds through the declarative scenario layer
+# (repro.scenario.ScenarioBuilder / common.build_testbed), which is the
+# single construction path the bit-identical-rows contract is pinned to.
+_STACK_ENTRYPOINTS = frozenset({"RootHammer", "Cluster", "Host"})
+
 
 @dataclasses.dataclass(frozen=True)
 class ModulePolicy:
@@ -84,6 +91,7 @@ class ModulePolicy:
     is_heap_owner: bool = False  # simkernel/kernel.py, events.py: SL004 exempt
     is_driver: bool = False  # CLI/sweep drivers: monotonic clocks allowed
     is_devtools: bool = False  # not simulation code: SL001-SL003 exempt
+    is_experiment: bool = False  # repro/experiments/: SL007 applies
 
     @classmethod
     def for_path(cls, path: str) -> "ModulePolicy":
@@ -95,6 +103,7 @@ class ModulePolicy:
             is_driver=norm.endswith("experiments/cli.py")
             or norm.endswith("experiments/parallel.py"),
             is_devtools="repro/devtools/" in norm,
+            is_experiment="repro/experiments/" in norm,
         )
 
 
@@ -301,6 +310,7 @@ class RuleVisitor(ast.NodeVisitor):
             self._check_wall_clock(node, qual)
             self._check_randomness(node, qual)
             self._check_heap_access(node, qual)
+        self._check_stack_construction(node, func)
         if isinstance(func, ast.Name):
             self._check_order_sensitive_call(node, func.id)
         elif isinstance(func, ast.Attribute):
@@ -375,6 +385,33 @@ class RuleVisitor(ast.NodeVisitor):
                 f"{qual.split('.')[-1]}() on Simulator._heap bypasses the "
                 "(priority, sequence) tiebreaker; use call_at()/call_in() "
                 "or an Event",
+            )
+
+    # -- SL007: ad-hoc stack construction in experiments -------------------
+
+    def _check_stack_construction(
+        self, node: ast.Call, func: ast.expr
+    ) -> None:
+        if not self.policy.is_experiment:
+            return
+        if isinstance(func, ast.Name):
+            constructed = func.id if func.id in _STACK_ENTRYPOINTS else None
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "started"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "RootHammer"
+        ):
+            constructed = "RootHammer.started"
+        else:
+            constructed = None
+        if constructed is not None:
+            self._emit(
+                "SL007",
+                node,
+                f"{constructed}() builds a stack by hand in an experiment "
+                "module; construct testbeds through the scenario layer "
+                "(common.build_testbed or repro.scenario.ScenarioBuilder)",
             )
 
     # -- SL003: nondeterministic iteration ---------------------------------

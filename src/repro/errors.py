@@ -100,3 +100,7 @@ class AnalysisError(ReproError):
 
 class ConfigError(ReproError):
     """A configuration value was out of range or inconsistent."""
+
+
+class ScenarioError(ConfigError):
+    """A declarative scenario spec was malformed or cannot be built."""

@@ -6,11 +6,17 @@ Usage::
     roothammer-experiments FIG6 SEC52
     roothammer-experiments --all --full
     python -m repro.experiments.cli run --all --jobs 4
+    python -m repro.experiments.cli scenario list
+    python -m repro.experiments.cli scenario run examples/mixed_rolling.toml
 
 Sweeps run through the parallel cell runner by default: independent
 measurement cells fan across ``--jobs`` worker processes and completed
 cells are memoised in a content-addressed cache (disable with
 ``--no-cache``; ``--jobs 1`` executes the same cells in-process).
+
+``scenario ...`` dispatches to the declarative scenario layer's CLI
+(:mod:`repro.scenario.cli`): list registered scenarios, validate or
+dry-build TOML specs, and run arbitrary spec files with zero new code.
 """
 
 from __future__ import annotations
@@ -30,6 +36,11 @@ from repro.experiments import (
 
 def main(argv: typing.Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "scenario":
+        from repro.scenario.cli import main as scenario_main
+
+        return scenario_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="roothammer-experiments",
         description=(
@@ -42,7 +53,8 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         nargs="*",
         metavar="ID",
         help="experiment ids (FIG4, FIG5, SEC52, FIG6, SEC53, FIG7, FIG8, "
-        "SEC56, FIG9, FIG2); an optional leading 'run' token is accepted",
+        "SEC56, FIG9, FIG2); an optional leading 'run' token is accepted, "
+        "and 'scenario ...' dispatches to the scenario-layer CLI",
     )
     parser.add_argument("--all", action="store_true", help="run everything")
     parser.add_argument(

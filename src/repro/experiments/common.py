@@ -9,6 +9,7 @@ all show the same artifact.
 from __future__ import annotations
 
 import dataclasses
+import sys
 import typing
 
 from repro.analysis.report import (
@@ -16,8 +17,10 @@ from repro.analysis.report import (
     all_within_tolerance,
     render_comparison,
 )
-from repro.config import TimingProfile, paper_testbed
-from repro.core import RootHammer, VMSpec
+from repro.config import TimingProfile
+from repro.core import RootHammer
+from repro.scenario.builder import ScenarioBuilder
+from repro.scenario.spec import HostSpec, ScenarioSpec, VMSpec
 from repro.units import GiB
 
 
@@ -48,18 +51,27 @@ def build_testbed(
     memory_bytes: int = 1 * GiB,
     profile: TimingProfile | None = None,
     seed: int = 0,
-    **kwargs: typing.Any,
 ) -> RootHammer:
-    """The paper's server machine with ``n_vms`` identical VMs, started."""
-    return RootHammer.started(
-        vms=[
-            VMSpec(f"vm{i:02d}", memory_bytes=memory_bytes, services=services)
-            for i in range(n_vms)
-        ],
-        profile=profile if profile is not None else paper_testbed(),
-        seed=seed,
-        **kwargs,
+    """The paper's server machine with ``n_vms`` identical VMs, started.
+
+    A thin shim over the declarative scenario layer: the keyword surface
+    the experiment modules use, expressed as a :class:`ScenarioSpec` and
+    materialized by the one stack-construction path.  ``memory_bytes``
+    round-trips through the spec's GiB field exactly (division and
+    multiplication by a power of two are both lossless in binary floats).
+    """
+    fleet = (
+        (VMSpec(count=n_vms, memory_gib=memory_bytes / GiB, services=services),)
+        if n_vms
+        else ()
     )
+    spec = ScenarioSpec(
+        name="testbed",
+        hosts=(HostSpec(vms=fleet),),
+        seed=seed,
+    )
+    built = ScenarioBuilder(spec, profile=profile).build()
+    return built.controller
 
 
 def run_decomposed(module: typing.Any, full: bool) -> ExperimentResult:
@@ -80,6 +92,18 @@ def run_decomposed(module: typing.Any, full: bool) -> ExperimentResult:
         for key, fn_name, params in module.cells(full)
     }
     return module.assemble(full, payloads)
+
+
+def run_self_decomposed(full: bool) -> ExperimentResult:
+    """:func:`run_decomposed` on the *calling* experiment module.
+
+    Decomposed runners all define ``run`` as "execute my own cells", which
+    used to read ``run_decomposed(sys.modules[__name__], full)`` in every
+    module; this helper resolves the caller's module from the stack
+    instead, so a runner's ``run`` is one self-contained line.
+    """
+    caller = sys._getframe(1).f_globals["__name__"]
+    return run_decomposed(sys.modules[caller], full)
 
 
 def default_vm_counts(full: bool) -> list[int]:

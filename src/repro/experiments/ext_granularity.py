@@ -23,7 +23,6 @@ single guest's cold OS reboot chain would suggest.
 
 from __future__ import annotations
 
-import sys
 import typing
 
 from repro.analysis.downtime import extract_downtimes
@@ -31,7 +30,7 @@ from repro.analysis.report import ComparisonRow, render_table
 from repro.experiments.common import (
     ExperimentResult,
     build_testbed,
-    run_decomposed,
+    run_self_decomposed,
 )
 
 _VM = "vm00"
@@ -89,7 +88,7 @@ def cells(full: bool = False) -> list[tuple[tuple, str, dict]]:
 
 def run(full: bool = False) -> ExperimentResult:
     """Measure the downtime ladder across rejuvenation granularities."""
-    return run_decomposed(sys.modules[__name__], full)
+    return run_self_decomposed(full)
 
 
 def assemble(

@@ -8,7 +8,6 @@ Shutdown/boot is also roughly size-independent but loses all state.
 
 from __future__ import annotations
 
-import sys
 import typing
 
 from repro.analysis.report import ComparisonRow, render_table
@@ -17,7 +16,7 @@ from repro.experiments.common import (
     ExperimentResult,
     build_testbed,
     default_memory_gib,
-    run_decomposed,
+    run_self_decomposed,
 )
 from repro.units import gib
 
@@ -48,7 +47,7 @@ def cells(full: bool = False) -> list[tuple[tuple, str, dict]]:
 
 def run(full: bool = False) -> ExperimentResult:
     """Sweep a single VM's memory (1..11 GiB) across the three methods."""
-    return run_decomposed(sys.modules[__name__], full)
+    return run_self_decomposed(full)
 
 
 def assemble(

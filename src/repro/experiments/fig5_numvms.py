@@ -8,7 +8,6 @@ because parallel boots contend on the disk.
 
 from __future__ import annotations
 
-import sys
 import typing
 
 from repro.analysis.fitting import fit_line
@@ -18,7 +17,7 @@ from repro.experiments.common import (
     ExperimentResult,
     build_testbed,
     default_vm_counts,
-    run_decomposed,
+    run_self_decomposed,
 )
 
 _METHODS = {
@@ -48,7 +47,7 @@ def cells(full: bool = False) -> list[tuple[tuple, str, dict]]:
 
 def run(full: bool = False) -> ExperimentResult:
     """Sweep 1..11 one-GiB VMs across the three methods."""
-    return run_decomposed(sys.modules[__name__], full)
+    return run_self_decomposed(full)
 
 
 def assemble(

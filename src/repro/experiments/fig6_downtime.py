@@ -12,7 +12,6 @@ and time out (60 s client timeout) during saved reboots.
 
 from __future__ import annotations
 
-import sys
 import typing
 
 from repro.analysis.downtime import reboot_downtime_summary
@@ -22,7 +21,7 @@ from repro.experiments.common import (
     ExperimentResult,
     build_testbed,
     default_vm_counts,
-    run_decomposed,
+    run_self_decomposed,
 )
 from repro.guest.tcp import SessionState, TcpSession
 
@@ -89,7 +88,7 @@ def cells(full: bool = False) -> list[tuple[tuple, str, dict]]:
 
 def run(full: bool = False) -> ExperimentResult:
     """Measure service downtime for every (n, service, strategy) cell."""
-    return run_decomposed(sys.modules[__name__], full)
+    return run_self_decomposed(full)
 
 
 def assemble(

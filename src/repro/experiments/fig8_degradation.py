@@ -10,7 +10,6 @@
 
 from __future__ import annotations
 
-import sys
 import typing
 
 from repro.analysis.report import ComparisonRow, render_table
@@ -18,7 +17,7 @@ from repro.errors import ReproError
 from repro.experiments.common import (
     ExperimentResult,
     build_testbed,
-    run_decomposed,
+    run_self_decomposed,
 )
 from repro.units import gib, kib, mib
 from repro.workloads.fileread import degradation, first_and_second_read
@@ -90,7 +89,7 @@ def cells(full: bool = False) -> list[tuple[tuple, str, dict]]:
 
 def run(full: bool = False) -> ExperimentResult:
     """Measure file-read and web throughput around warm/cold reboots."""
-    return run_decomposed(sys.modules[__name__], full)
+    return run_self_decomposed(full)
 
 
 def assemble(

@@ -26,14 +26,16 @@ from repro.analysis.timeline import (
     sum_series,
     zero_intervals,
 )
-import sys
-
-from repro.cluster import Cluster, MigrationRejuvenator, RollingRejuvenator
-from repro.errors import ReproError
-from repro.experiments.common import ExperimentResult, run_decomposed
-from repro.simkernel import Simulator
+from repro.experiments.common import ExperimentResult, run_self_decomposed
+from repro.scenario.builder import ScenarioBuilder
+from repro.scenario.spec import (
+    HostSpec,
+    MaintenanceSpec,
+    ScenarioSpec,
+    VMSpec,
+    WorkloadSpec,
+)
 from repro.units import kib
-from repro.workloads.httperf import Httperf
 
 _FILES_PER_HOST = 30
 _FILE_BYTES = 2 * 1024 * kib(1)
@@ -42,62 +44,46 @@ _SIZE = 3
 _SCHEMES = ("warm", "cold", "migration")
 
 
+def _scenario(scheme: str, size: int, settle_s: float) -> ScenarioSpec:
+    """The Figure 9 setup as a declarative spec: ``size`` hosts each
+    serving one apache VM, a per-host httperf stream, and the requested
+    maintenance scheme (migration reserves a spare)."""
+    if scheme == "migration":
+        maintenance = MaintenanceSpec(kind="migration", strategy="cold")
+    else:
+        maintenance = MaintenanceSpec(
+            kind="rolling", strategy=scheme, settle_s=settle_s
+        )
+    return ScenarioSpec(
+        name=f"fig9-{scheme}",
+        hosts=(HostSpec(count=size, vms=(VMSpec(services=("apache",)),)),),
+        spare=(scheme == "migration"),
+        workloads=(
+            WorkloadSpec(
+                kind="httperf",
+                directory="/www/{host}",
+                files=_FILES_PER_HOST,
+                file_kib=_FILE_BYTES / kib(1),
+                concurrency=2,
+            ),
+        ),
+        maintenance=maintenance,
+    )
+
+
 def _cluster_run(
     scheme: str, size: int = 3, settle_s: float = 30.0
 ) -> dict[str, typing.Any]:
     """Run one maintenance scheme over a fresh cluster; return series."""
-    sim = Simulator()
-    cluster = Cluster(
-        sim,
-        size=size,
-        vms_per_host=1,
-        services=("apache",),
-        spare=(scheme == "migration"),
-    )
-    sim.run(sim.spawn(cluster.start()))
-
-    clients: list[Httperf] = []
-    for host in cluster.hosts:
-        vm_name = f"{host.name}-vm0"
-        guest = host.guest(vm_name)
-        paths = guest.filesystem.create_many(
-            f"/www/{host.name}", _FILES_PER_HOST, _FILE_BYTES
-        )
-        sim.run(sim.spawn(guest.warm_file_cache(paths)))
-
-        def lookup(vm_name=vm_name, _cache=[None]):
-            # Resolve wherever the VM currently lives: after a cold reboot
-            # the service object is new, after a migration it is on
-            # another host (possibly the spare).  The hit is memoized while
-            # it stays reachable — a full cluster scan per request would
-            # dominate the whole experiment.
-            cached = _cache[0]
-            if (
-                cached is not None
-                and cached.reachable
-                and cached.guest.name == vm_name
-            ):
-                return cached
-            for service in cluster.services("apache"):
-                if service.guest is not None and service.guest.name == vm_name:
-                    _cache[0] = service
-                    return service
-            raise ReproError(f"{vm_name} has no live apache replica")
-
-        clients.append(
-            Httperf(
-                sim, lookup, paths, concurrency=2, name=f"lb-{host.name}"
-            ).start()
-        )
+    built = ScenarioBuilder(_scenario(scheme, size, settle_s)).build()
+    sim = built.sim
+    clients = [attached.client for attached in built.workloads]
 
     workload_start = sim.now
     warmup = 40.0
     sim.run(until=sim.now + warmup)
     maintenance_start = sim.now
-    if scheme == "migration":
-        rejuvenator: typing.Any = MigrationRejuvenator(cluster, strategy="cold")
-    else:
-        rejuvenator = RollingRejuvenator(cluster, strategy=scheme, settle_s=settle_s)
+    rejuvenator = built.make_rejuvenator()
     sim.run(sim.spawn(rejuvenator.run()))
     maintenance_end = sim.now
     sim.run(until=sim.now + 120)
@@ -151,7 +137,7 @@ def cells(full: bool = False) -> list[tuple[tuple, str, dict]]:
 
 def run(full: bool = False) -> ExperimentResult:
     """Run the three cluster maintenance schemes and compare timelines."""
-    return run_decomposed(sys.modules[__name__], full)
+    return run_self_decomposed(full)
 
 
 def assemble(

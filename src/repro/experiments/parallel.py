@@ -303,6 +303,50 @@ def run_experiment_parallel(
     return _assemble(key, full, {c.key: payloads[(key, c.key)] for c in plan})
 
 
+def scenario_cells(specs: typing.Sequence[typing.Any]) -> list[Cell]:
+    """The uniform spec-cell plan for a set of scenario specs.
+
+    A scenario cell is the same unit as an experiment cell — one function,
+    plain parameters, deterministic payload — so it pools, fans out and
+    caches through the exact same machinery.  The spec travels in its
+    canonical dict form (:meth:`~repro.scenario.spec.ScenarioSpec.to_dict`
+    is field-ordered, so the digest's ``repr`` material is stable).
+    """
+    seen: set[str] = set()
+    cells: list[Cell] = []
+    for spec in specs:
+        if spec.name in seen:
+            raise ReproError(
+                f"duplicate scenario name {spec.name!r} in one sweep; "
+                "cells are keyed by name"
+            )
+        seen.add(spec.name)
+        cells.append(
+            Cell(
+                "SCENARIO",
+                (spec.name,),
+                "repro.scenario.runner:run_scenario_cell",
+                {"spec_data": spec.to_dict()},
+            )
+        )
+    return cells
+
+
+def run_scenarios_parallel(
+    specs: typing.Sequence[typing.Any],
+    jobs: int | None = None,
+    use_cache: bool = True,
+    stats: SweepStats | None = None,
+) -> dict[str, dict]:
+    """Fan a set of :class:`~repro.scenario.spec.ScenarioSpec` runs across
+    worker processes; returns each scenario's report dict keyed by name."""
+    plan = scenario_cells(specs)
+    payloads = _run_cells(plan, False, jobs, use_cache, stats)
+    return {
+        cell.key[0]: payloads[(cell.experiment_id, cell.key)] for cell in plan
+    }
+
+
 def run_all_parallel(
     full: bool = False,
     jobs: int | None = None,

@@ -1,0 +1,50 @@
+"""Declarative scenario layer: one stack-construction path.
+
+``repro.scenario`` separates *what stack to build* from *how the
+mechanisms run*: a :class:`ScenarioSpec` (hosts, VM fleets, workloads,
+faults, maintenance) is plain data — buildable from dicts or TOML —
+and :class:`ScenarioBuilder` is the single place that materializes it
+into a started :class:`~repro.core.RootHammer` or
+:class:`~repro.cluster.Cluster`.  Every experiment module constructs its
+testbed through this layer, and arbitrary new scenarios run from a spec
+file with zero new code (``python -m repro.scenario run <spec>``).
+"""
+
+from repro.scenario.builder import (
+    AttachedWorkload,
+    BuiltScenario,
+    ScenarioBuilder,
+    build_scenario,
+)
+from repro.scenario.registry import get, names, register, resolve
+from repro.scenario.runner import ScenarioReport, WorkloadReport, run_scenario
+from repro.scenario.spec import (
+    FaultSpec,
+    HostSpec,
+    MaintenanceSpec,
+    ScenarioSpec,
+    VMSpec,
+    WorkloadSpec,
+    load_toml,
+)
+
+__all__ = [
+    "AttachedWorkload",
+    "BuiltScenario",
+    "FaultSpec",
+    "HostSpec",
+    "MaintenanceSpec",
+    "ScenarioBuilder",
+    "ScenarioReport",
+    "ScenarioSpec",
+    "VMSpec",
+    "WorkloadReport",
+    "WorkloadSpec",
+    "build_scenario",
+    "get",
+    "load_toml",
+    "names",
+    "register",
+    "resolve",
+    "run_scenario",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.scenario`` entry point."""
+
+import sys
+
+from repro.scenario.cli import main
+
+sys.exit(main())

@@ -1,0 +1,372 @@
+"""Materialize a :class:`~repro.scenario.spec.ScenarioSpec` into a stack.
+
+:class:`ScenarioBuilder` is the one place in the repository that turns a
+declarative spec into running simulation objects: a single-host
+:class:`~repro.core.RootHammer` or a multi-host
+:class:`~repro.cluster.Cluster`, with the fleet installed, the bring-up
+run, workload clients attached and fault/maintenance machinery ready.
+Experiment modules, the parallel sweep engine and the ``scenario run``
+CLI all construct their testbeds through it, so serial, pooled and cached
+runs of the same spec are bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.cluster import Cluster, MigrationRejuvenator, RollingRejuvenator
+from repro.config import TimingProfile, paper_testbed, small_testbed
+from repro.core import RootHammer
+from repro.core.host import Host
+from repro.core.host import VMSpec as CoreVMSpec
+from repro.errors import ReproError, ScenarioError
+from repro.guest.kernel import GuestKernel
+from repro.scenario.spec import HostSpec, ScenarioSpec, WorkloadSpec
+from repro.simkernel import Simulator
+from repro.workloads.httperf import Httperf
+from repro.workloads.prober import PingProber
+
+STANDALONE_VM_TEMPLATE = "vm{i:02d}"
+"""Default VM name on a standalone host — the experiments' ``vm00``.."""
+
+CLUSTER_VM_TEMPLATE = "{host}-vm{i}"
+"""Default VM name in a cluster — Figure 9's ``host0-vm0``.."""
+
+HOST_TEMPLATE = "host{i}"
+
+
+def resolve_profile(name: str) -> TimingProfile:
+    """The calibrated :class:`TimingProfile` a spec names."""
+    if name == "paper":
+        return paper_testbed()
+    if name == "small":
+        return small_testbed()
+    raise ScenarioError(f"unknown profile {name!r}")
+
+
+@dataclasses.dataclass
+class AttachedWorkload:
+    """One client attached to one VM by the builder."""
+
+    spec: WorkloadSpec
+    host: Host
+    vm_name: str
+    paths: list[str]
+    client: "Httperf | PingProber | None"
+    """The started client process owner; ``None`` for ``fileread`` (the
+    runner drives timed reads imperatively)."""
+
+    def stop(self) -> None:
+        if self.client is not None:
+            self.client.stop()
+
+
+@dataclasses.dataclass
+class BuiltScenario:
+    """A started stack plus handles to everything a runner needs."""
+
+    spec: ScenarioSpec
+    sim: Simulator
+    controller: RootHammer | None
+    cluster: Cluster | None
+    workloads: list[AttachedWorkload]
+
+    @property
+    def hosts(self) -> list[Host]:
+        if self.cluster is not None:
+            return list(self.cluster.hosts)
+        assert_controller = self.controller
+        if assert_controller is None:  # pragma: no cover - builder invariant
+            raise ScenarioError("built scenario has neither controller nor cluster")
+        return [assert_controller.host]
+
+    def host_of(self, vm_name: str) -> Host:
+        """The host a named VM is installed on."""
+        for host in self.hosts:
+            if vm_name in host.vm_specs:
+                return host
+        raise ScenarioError(f"no VM named {vm_name!r} in scenario {self.spec.name!r}")
+
+    def guest(self, vm_name: str) -> GuestKernel:
+        """The named VM's current guest image."""
+        return self.host_of(vm_name).guest(vm_name)
+
+    def make_rejuvenator(self) -> "RollingRejuvenator | MigrationRejuvenator":
+        """The cluster maintenance driver the spec asks for."""
+        maintenance = self.spec.maintenance
+        if maintenance is None or maintenance.kind not in ("rolling", "migration"):
+            raise ScenarioError(
+                f"scenario {self.spec.name!r} has no cluster maintenance"
+            )
+        if self.cluster is None:  # pragma: no cover - spec validation bars this
+            raise ScenarioError("cluster maintenance on a single-host scenario")
+        if maintenance.kind == "migration":
+            return MigrationRejuvenator(self.cluster, strategy=maintenance.strategy)
+        return RollingRejuvenator(
+            self.cluster,
+            strategy=maintenance.strategy,
+            settle_s=maintenance.settle_s,
+        )
+
+    def stop_workloads(self) -> None:
+        """Stop every attached client (pending requests are abandoned)."""
+        for workload in self.workloads:
+            workload.stop()
+
+
+class ScenarioBuilder:
+    """Builds the stack a spec describes; see the module docstring.
+
+    ``profile`` overrides the spec's named profile with an explicit
+    :class:`TimingProfile` instance (the experiment helpers use this to
+    forward caller-supplied profiles without widening the spec schema).
+    """
+
+    def __init__(
+        self, spec: ScenarioSpec, profile: TimingProfile | None = None
+    ) -> None:
+        self.spec = spec
+        self.profile = profile if profile is not None else resolve_profile(
+            spec.profile
+        )
+
+    # -- fleet expansion ---------------------------------------------------------
+
+    def _expand_fleet(
+        self, host_spec: HostSpec, host_name: str, template: str
+    ) -> list[CoreVMSpec]:
+        """The concrete per-VM specs for one host, names resolved."""
+        fleet: list[CoreVMSpec] = []
+        index = 0
+        for position, vm in enumerate(host_spec.vms):
+            name_template = vm.name if vm.name is not None else template
+            if vm.count > 1 and "{i" not in name_template:
+                raise ScenarioError(
+                    f"vms[{position}]: name {name_template!r} has no "
+                    "'{i}' placeholder but count is "
+                    f"{vm.count}; the copies would collide"
+                )
+            for _ in range(vm.count):
+                fleet.append(
+                    CoreVMSpec(
+                        name_template.format(i=index, host=host_name),
+                        memory_bytes=vm.memory_bytes,
+                        services=vm.services,
+                        vcpus=vm.vcpus,
+                        driver_domain=vm.driver_domain,
+                        cpu_weight=vm.cpu_weight,
+                        cpu_cap_cores=vm.cpu_cap_cores,
+                    )
+                )
+                index += 1
+        return fleet
+
+    def _host_names(self) -> list[str]:
+        """Every host name the spec expands to, in build order."""
+        names: list[str] = []
+        index = 0
+        standalone = not self.spec.is_cluster
+        for host_spec in self.spec.hosts:
+            template = host_spec.name
+            if template is None:
+                template = "server" if standalone else HOST_TEMPLATE
+            if host_spec.count > 1 and "{i" not in template:
+                raise ScenarioError(
+                    f"host name {template!r} has no '{{i}}' placeholder "
+                    f"but count is {host_spec.count}; the copies would collide"
+                )
+            for _ in range(host_spec.count):
+                names.append(template.format(i=index))
+                index += 1
+        return names
+
+    # -- materialization -------------------------------------------------------------
+
+    def build(self) -> BuiltScenario:
+        """Materialize and start the stack, then attach the workloads."""
+        spec = self.spec
+        faults = spec.faults.to_aging_faults() if spec.faults is not None else None
+        if spec.is_cluster:
+            built = self._build_cluster(faults)
+        else:
+            built = self._build_standalone(faults)
+        for workload in spec.workloads:
+            self._attach(built, workload)
+        return built
+
+    def _build_standalone(self, faults: typing.Any) -> BuiltScenario:
+        (host_name,) = self._host_names()
+        fleet = self._expand_fleet(
+            self.spec.hosts[0], host_name, STANDALONE_VM_TEMPLATE
+        )
+        controller = RootHammer.started(
+            vms=fleet,
+            profile=self.profile,
+            seed=self.spec.seed,
+            faults=faults,
+            host_name=host_name,
+        )
+        return BuiltScenario(
+            spec=self.spec,
+            sim=controller.sim,
+            controller=controller,
+            cluster=None,
+            workloads=[],
+        )
+
+    def _build_cluster(self, faults: typing.Any) -> BuiltScenario:
+        names = self._host_names()
+        layouts: list[list[CoreVMSpec]] = []
+        cursor = 0
+        for host_spec in self.spec.hosts:
+            for _ in range(host_spec.count):
+                layouts.append(
+                    self._expand_fleet(
+                        host_spec, names[cursor], CLUSTER_VM_TEMPLATE
+                    )
+                )
+                cursor += 1
+        sim = Simulator()
+        cluster = Cluster(
+            sim,
+            size=len(layouts),
+            vm_layout=layouts,
+            host_names=names,
+            profile=self.profile,
+            spare=self.spec.spare,
+            seed=self.spec.seed,
+            faults=faults,
+        )
+        sim.run(sim.spawn(cluster.start()))
+        return BuiltScenario(
+            spec=self.spec,
+            sim=sim,
+            controller=None,
+            cluster=cluster,
+            workloads=[],
+        )
+
+    # -- workload attachment ----------------------------------------------------------
+
+    def _targets(
+        self, built: BuiltScenario, workload: WorkloadSpec
+    ) -> list[tuple[Host, str]]:
+        """The (host, vm) pairs a workload spec attaches to, in build order."""
+        if workload.vm is not None:
+            return [(built.host_of(workload.vm), workload.vm)]
+        targets = [
+            (host, vm_spec.name)
+            for host in built.hosts
+            for vm_spec in host.vm_specs.values()
+            if workload.service in vm_spec.services
+        ]
+        if not targets:
+            raise ScenarioError(
+                f"workload {workload.kind!r} matches no VM: nothing runs "
+                f"{workload.service!r} and no vm was named"
+            )
+        return targets
+
+    def _service_name(
+        self, built: BuiltScenario, vm_name: str, kind: str
+    ) -> str:
+        """The concrete service *name* for a spec's service *kind*.
+
+        Specs name service kinds (``ssh``/``apache``/``jboss``, matching
+        :data:`~repro.guest.services.SERVICE_FACTORIES`), but lookups and
+        the cluster's replica scan match on instance names (``sshd``).
+        Names are deterministic per kind, so resolving once at attach
+        time stays valid across reboots.
+        """
+        for candidate in built.guest(vm_name).services:
+            if candidate.kind == kind or candidate.name == kind:
+                return candidate.name
+        raise ScenarioError(f"VM {vm_name!r} runs no {kind!r} service")
+
+    def _lookup(
+        self, built: BuiltScenario, host: Host, vm_name: str, service: str
+    ) -> typing.Callable[[], typing.Any]:
+        """A per-request service resolver for one VM.
+
+        Cluster resolution is memoized while the hit stays reachable —
+        after a cold reboot the service object is new, after a migration
+        it lives on another host (possibly the spare), and a full cluster
+        scan per request would dominate the whole experiment.
+        """
+        cluster = built.cluster
+        if cluster is None:
+
+            def lookup() -> typing.Any:
+                return host.guest(vm_name).service(service)
+
+            return lookup
+
+        cache: list[typing.Any] = [None]
+
+        def cluster_lookup() -> typing.Any:
+            cached = cache[0]
+            if (
+                cached is not None
+                and cached.reachable
+                and cached.guest.name == vm_name
+            ):
+                return cached
+            for candidate in cluster.services(service):
+                if candidate.guest is not None and candidate.guest.name == vm_name:
+                    cache[0] = candidate
+                    return candidate
+            raise ReproError(f"{vm_name} has no live {service} replica")
+
+        return cluster_lookup
+
+    def _attach(self, built: BuiltScenario, workload: WorkloadSpec) -> None:
+        sim = built.sim
+        for host, vm_name in self._targets(built, workload):
+            guest = built.guest(vm_name)
+            directory = workload.directory.format(host=host.name, vm=vm_name)
+            if workload.kind == "fileread":
+                path = workload.path.format(host=host.name, vm=vm_name)
+                guest.filesystem.create(path, workload.file_bytes)
+                if workload.warm_cache:
+                    sim.run(sim.spawn(guest.read_file(path)))
+                built.workloads.append(
+                    AttachedWorkload(workload, host, vm_name, [path], None)
+                )
+                continue
+            service_name = self._service_name(built, vm_name, workload.service)
+            lookup = self._lookup(built, host, vm_name, service_name)
+            if workload.kind == "prober":
+                prober = PingProber(
+                    sim,
+                    lookup,
+                    interval_s=workload.interval_s,
+                    name=f"probe-{vm_name}",
+                ).start()
+                built.workloads.append(
+                    AttachedWorkload(workload, host, vm_name, [], prober)
+                )
+                continue
+            paths = guest.filesystem.create_many(
+                directory, workload.files, workload.file_bytes
+            )
+            if workload.warm_cache:
+                sim.run(sim.spawn(guest.warm_file_cache(paths)))
+            client = Httperf(
+                sim,
+                lookup,
+                paths,
+                concurrency=workload.concurrency,
+                name=f"lb-{host.name}" if built.cluster is not None
+                else f"httperf-{vm_name}",
+            ).start()
+            built.workloads.append(
+                AttachedWorkload(workload, host, vm_name, paths, client)
+            )
+
+
+def build_scenario(
+    spec: ScenarioSpec, profile: TimingProfile | None = None
+) -> BuiltScenario:
+    """Convenience wrapper: ``ScenarioBuilder(spec, profile).build()``."""
+    return ScenarioBuilder(spec, profile=profile).build()

@@ -1,0 +1,241 @@
+"""Run a built scenario end-to-end and summarize what happened.
+
+:func:`run_scenario` drives the generic timeline every spec describes —
+warm-up, optional fault injection, the maintenance schedule, an
+observation window — and folds the attached workloads' measurements into
+a :class:`ScenarioReport` of plain data (picklable, JSON-friendly), so
+the same function backs the ``scenario run`` CLI and the parallel sweep
+engine's scenario cells.
+
+Experiments that need bespoke measurement (Figure 9's bucketized
+timelines, say) build through :class:`~repro.scenario.builder
+.ScenarioBuilder` directly and keep their own analysis; this runner is
+the zero-new-code path for scenarios defined purely in TOML.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.aging.policy import TimeBasedRejuvenator
+from repro.aging.watchdog import CrashWatchdog, HeapExhaustionCrasher
+from repro.errors import GuestError, VMMError
+from repro.scenario.builder import AttachedWorkload, BuiltScenario, build_scenario
+from repro.scenario.spec import ScenarioSpec
+from repro.units import KiB
+from repro.workloads.fileread import first_and_second_read
+
+
+@dataclasses.dataclass
+class WorkloadReport:
+    """Summary of one attached workload over the whole run."""
+
+    kind: str
+    vm: str
+    metrics: dict[str, float]
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "vm": self.vm, "metrics": dict(self.metrics)}
+
+
+@dataclasses.dataclass
+class ScenarioReport:
+    """Plain-data outcome of one scenario run."""
+
+    name: str
+    hosts: int
+    vms: int
+    duration_s: float
+    workloads: list[WorkloadReport]
+    maintenance: dict[str, typing.Any]
+    faults: dict[str, typing.Any]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "hosts": self.hosts,
+            "vms": self.vms,
+            "duration_s": self.duration_s,
+            "workloads": [w.to_dict() for w in self.workloads],
+            "maintenance": dict(self.maintenance),
+            "faults": dict(self.faults),
+        }
+
+    def render(self) -> str:
+        """A human-readable summary block."""
+        lines = [
+            f"scenario {self.name}: {self.hosts} host(s), {self.vms} VM(s), "
+            f"{self.duration_s:.1f}s simulated"
+        ]
+        if self.maintenance:
+            pairs = ", ".join(
+                f"{key}={value}" for key, value in sorted(self.maintenance.items())
+            )
+            lines.append(f"  maintenance: {pairs}")
+        if self.faults:
+            pairs = ", ".join(
+                f"{key}={value}" for key, value in sorted(self.faults.items())
+            )
+            lines.append(f"  faults: {pairs}")
+        for workload in self.workloads:
+            pairs = ", ".join(
+                f"{key}={value:.4g}"
+                for key, value in sorted(workload.metrics.items())
+            )
+            lines.append(f"  {workload.kind} on {workload.vm}: {pairs}")
+        return "\n".join(lines)
+
+
+def _periodic_schedule(
+    built: BuiltScenario,
+    host,
+    horizon: float,
+    rejuvenators: list[TimeBasedRejuvenator],
+) -> typing.Generator:
+    """Drive a host's periodic schedule to ``horizon``, surviving crashes.
+
+    When an injected heap-exhaustion crash lands mid-schedule, a planned
+    rejuvenation can find the VMM already dead — or the guests it killed
+    not yet rebooted.  The crash watchdog owns recovery, so the schedule
+    waits it out and restarts (each restart is a fresh
+    :class:`TimeBasedRejuvenator`; ``rejuvenators`` accumulates them so
+    the report can total their events) instead of tearing the whole
+    scenario down.
+    """
+    maintenance = built.spec.maintenance
+    sim = built.sim
+    while sim.now < horizon:
+        rejuvenator = TimeBasedRejuvenator(
+            host,
+            strategy=maintenance.strategy,
+            os_interval_s=maintenance.os_interval_s,
+            vmm_interval_s=maintenance.vmm_interval_s,
+        )
+        rejuvenators.append(rejuvenator)
+        try:
+            yield from rejuvenator.run(horizon)
+            return
+        except (VMMError, GuestError):
+            yield sim.timeout(60.0)  # give the watchdog room to recover
+
+
+def _measure(built: BuiltScenario, attached: AttachedWorkload) -> WorkloadReport:
+    spec = attached.spec
+    sim = built.sim
+    if spec.kind == "httperf":
+        client = attached.client
+        metrics = {
+            "requests": float(len(client.completion_times)),
+            "failures": float(client.failures),
+            "mean_rate": client.mean_rate(),
+        }
+    elif spec.kind == "prober":
+        prober = attached.client
+        metrics = {
+            "outages": float(len(prober.outages)),
+            "total_downtime_s": prober.total_downtime(),
+            "longest_outage_s": prober.longest_outage(),
+        }
+    else:  # fileread: measure a first/second read pair at report time
+        guest = built.guest(attached.vm_name)
+        first, second = sim.run(
+            sim.spawn(first_and_second_read(guest, attached.paths[0]))
+        )
+        metrics = {
+            "first_read_bps": first.throughput,
+            "second_read_bps": second.throughput,
+        }
+    return WorkloadReport(spec.kind, attached.vm_name, metrics)
+
+
+def run_scenario(
+    spec: ScenarioSpec, profile: typing.Any = None
+) -> ScenarioReport:
+    """Build ``spec``, drive its timeline, and summarize the run."""
+    built = build_scenario(spec, profile=profile)
+    sim = built.sim
+    run_start = sim.now
+    if spec.warmup_s > 0:
+        sim.run(until=sim.now + spec.warmup_s)
+
+    horizon = sim.now + spec.observe_s
+    fault_report: dict[str, typing.Any] = {}
+    crashers: list[HeapExhaustionCrasher] = []
+    watchdogs: list[CrashWatchdog] = []
+    if (
+        spec.faults is not None
+        and spec.faults.heap_leak_kib_per_hour > 0
+        and spec.observe_s > 0
+    ):
+        for host in built.hosts:
+            crasher = HeapExhaustionCrasher(
+                host,
+                leak_bytes_per_hour=int(spec.faults.heap_leak_kib_per_hour * KiB),
+            )
+            watchdog = CrashWatchdog(host)
+            sim.spawn(crasher.run(horizon), name=f"crasher:{host.name}")
+            sim.spawn(watchdog.run(horizon), name=f"watchdog:{host.name}")
+            crashers.append(crasher)
+            watchdogs.append(watchdog)
+
+    maintenance_report: dict[str, typing.Any] = {}
+    maintenance = spec.maintenance
+    if maintenance is not None:
+        maintenance_report["kind"] = maintenance.kind
+        maintenance_report["strategy"] = maintenance.strategy
+        if maintenance.kind == "reboot":
+            report = built.controller.rejuvenate(maintenance.strategy)
+            maintenance_report["reboot_total_s"] = report.total
+            maintenance_report["vmm_reboot_s"] = report.vmm_reboot_duration()
+        elif maintenance.kind == "periodic":
+            rejuvenators: list[TimeBasedRejuvenator] = []
+            for host in built.hosts:
+                sim.spawn(
+                    _periodic_schedule(built, host, horizon, rejuvenators),
+                    name=f"rejuvenate:{host.name}",
+                )
+        else:  # rolling / migration (spec validation limits the kinds)
+            rejuvenator = built.make_rejuvenator()
+            started = sim.now
+            sim.run(sim.spawn(rejuvenator.run()))
+            maintenance_report["maintenance_s"] = sim.now - started
+            maintenance_report["hosts_rejuvenated"] = len(
+                getattr(rejuvenator, "completed", [])
+            )
+
+    if sim.now < horizon:
+        sim.run(until=horizon)
+    if maintenance is not None and maintenance.kind == "periodic":
+        maintenance_report["os_rejuvenations"] = sum(
+            r.count("os") for r in rejuvenators
+        )
+        maintenance_report["vmm_rejuvenations"] = sum(
+            r.count("vmm") for r in rejuvenators
+        )
+    if crashers:
+        fault_report["crashes"] = sum(len(c.crashes) for c in crashers)
+        fault_report["recoveries"] = sum(len(w.recoveries) for w in watchdogs)
+
+    built.stop_workloads()
+    reports = [_measure(built, attached) for attached in built.workloads]
+    return ScenarioReport(
+        name=spec.name,
+        hosts=len(built.hosts),
+        vms=sum(len(host.vm_specs) for host in built.hosts),
+        duration_s=sim.now - run_start,
+        workloads=reports,
+        maintenance=maintenance_report,
+        faults=fault_report,
+    )
+
+
+def run_scenario_cell(spec_data: dict) -> dict:
+    """Parallel-sweep cell entry point: dict spec in, plain payload out.
+
+    The sweep engine content-addresses cells by their parameters, so the
+    spec travels as its canonical dict form (see
+    :meth:`ScenarioSpec.to_dict`) rather than as an object.
+    """
+    spec = ScenarioSpec.from_dict(spec_data)
+    return run_scenario(spec).to_dict()

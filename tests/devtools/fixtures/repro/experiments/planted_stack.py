@@ -1,0 +1,22 @@
+"""Planted SL007 violations: ad-hoc stack construction in an experiment.
+
+A test fixture (never imported): its path contains ``repro/experiments/``
+so the experiment-module policy applies, and it must keep exactly two
+SL007 violations plus one suppressed one at stable locations.
+"""
+
+from repro.cluster import Cluster
+from repro.core import RootHammer, VMSpec
+from repro.simkernel import Simulator
+
+
+def handmade_testbed():
+    return RootHammer.started(vms=[VMSpec("vm00")])  # SL007: bypasses builder
+
+
+def handmade_cluster(sim: Simulator):
+    return Cluster(sim, size=3)  # SL007: bypasses builder
+
+
+def waived_testbed():
+    return RootHammer.started(vms=[])  # simlint: skip=SL007

@@ -11,7 +11,14 @@ from repro.devtools.simlint.analyzer import lint_source
 
 _HERE = os.path.dirname(__file__)
 _FIXTURE = os.path.join(_HERE, "fixtures", "planted_violations.py")
+_EXPERIMENT_FIXTURE = os.path.join(
+    _HERE, "fixtures", "repro", "experiments", "planted_stack.py"
+)
 _SRC = os.path.join(_HERE, os.pardir, os.pardir, "src")
+
+# SL007 only applies under repro/experiments/, so the general fixture
+# plants every rule except it; the experiment fixture covers SL007.
+_GENERAL_RULES = sorted(set(RULES) - {"SL007"})
 
 
 def _lint_snippet(snippet, path="example/module.py"):
@@ -24,7 +31,7 @@ class TestPlantedFixture:
         findings, errors, suppressed = lint_paths([_FIXTURE])
         assert not errors
         assert suppressed == 0
-        assert [f.rule for f in findings] == sorted(RULES)
+        assert [f.rule for f in findings] == _GENERAL_RULES
 
     def test_findings_carry_location_and_message(self):
         findings, _, _ = lint_paths([_FIXTURE])
@@ -115,6 +122,55 @@ class TestRuleEdges:
         assert "no.such.kind" in finding.message
 
 
+class TestScenarioBypassRule:
+    """SL007: experiments must build stacks through the scenario layer."""
+
+    def test_planted_fixture_flags_both_entrypoints(self):
+        findings, errors, suppressed = lint_paths([_EXPERIMENT_FIXTURE])
+        assert not errors
+        assert [f.rule for f in findings] == ["SL007", "SL007"]
+        assert "RootHammer.started" in findings[0].message
+        assert "Cluster" in findings[1].message
+        assert suppressed == 1  # the waived_testbed line-skip
+
+    def test_same_code_outside_experiments_is_clean(self):
+        snippet = """
+            from repro.core import RootHammer
+
+            def build():
+                return RootHammer.started(vms=[])
+            """
+        assert not _lint_snippet(snippet, path="src/repro/scenario/builder.py")
+        (finding,) = _lint_snippet(
+            snippet, path="src/repro/experiments/fig0_new.py"
+        )
+        assert finding.rule == "SL007"
+
+    def test_direct_host_construction_is_flagged(self):
+        (finding,) = _lint_snippet(
+            """
+            from repro.core.host import Host
+
+            def build(sim):
+                return Host(sim)
+            """,
+            path="src/repro/experiments/fig0_new.py",
+        )
+        assert finding.rule == "SL007"
+
+    def test_scenario_builder_path_is_clean(self):
+        assert not _lint_snippet(
+            """
+            from repro.scenario.builder import ScenarioBuilder
+            from repro.scenario.spec import ScenarioSpec
+
+            def build(spec: ScenarioSpec):
+                return ScenarioBuilder(spec).build()
+            """,
+            path="src/repro/experiments/fig0_new.py",
+        )
+
+
 class TestSuppressions:
     def test_line_skip_suppresses_and_counts(self):
         findings, suppressed = lint_source(
@@ -169,7 +225,7 @@ class TestCli:
     def test_json_format_is_machine_readable(self, capsys):
         assert main(["--format=json", _FIXTURE]) == 1
         payload = json.loads(capsys.readouterr().out)
-        assert {f["rule"] for f in payload["findings"]} == set(RULES)
+        assert {f["rule"] for f in payload["findings"]} == set(_GENERAL_RULES)
         assert payload["errors"] == []
 
     def test_syntax_error_exits_two(self, tmp_path, capsys):

@@ -1,0 +1,60 @@
+"""The scenario CLI, standalone and via the experiments CLI dispatch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import main as experiments_main
+from repro.scenario.cli import main
+
+
+@pytest.fixture()
+def tiny_spec(tmp_path):
+    path = tmp_path / "tiny.toml"
+    path.write_text(
+        'name = "tiny"\nobserve_s = 2.0\n\n'
+        "[[workloads]]\n"
+        'kind = "fileread"\nvm = "vm00"\nfile_kib = 64.0\n',
+        encoding="utf-8",
+    )
+    return str(path)
+
+
+def test_list_shows_builtins(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "mixed-fleet-rolling" in out and "probed-warm-reboot" in out
+
+
+def test_validate_accepts_good_spec(tiny_spec, capsys):
+    assert main(["validate", tiny_spec]) == 0
+    assert "ok (tiny: 1 host(s))" in capsys.readouterr().out
+
+
+def test_validate_rejects_bad_spec(tmp_path, capsys):
+    bad = tmp_path / "bad.toml"
+    bad.write_text('name = "x"\ntypo = 1\n', encoding="utf-8")
+    assert main(["validate", str(bad)]) == 2
+    assert "unknown key" in capsys.readouterr().err
+
+
+def test_build_dry_builds_registered_scenario(capsys):
+    assert main(["build", "probed-warm-reboot"]) == 0
+    out = capsys.readouterr().out
+    assert "1 host(s), 3 VM(s), 3 workload(s)" in out
+
+
+def test_run_executes_a_toml_spec(tiny_spec, capsys):
+    assert main(["run", tiny_spec]) == 0
+    out = capsys.readouterr().out
+    assert "scenario tiny:" in out and "fileread on vm00" in out
+
+
+def test_run_unknown_name_exits_two(capsys):
+    assert main(["run", "no-such-scenario"]) == 2
+    assert "known:" in capsys.readouterr().err
+
+
+def test_experiments_cli_dispatches_scenario_subcommand(capsys):
+    assert experiments_main(["scenario", "list"]) == 0
+    assert "mixed-fleet-rolling" in capsys.readouterr().out

@@ -1,0 +1,175 @@
+"""Spec validation, dict round-trips and TOML loading."""
+
+from __future__ import annotations
+
+import os
+import textwrap
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenario import (
+    FaultSpec,
+    HostSpec,
+    MaintenanceSpec,
+    ScenarioSpec,
+    VMSpec,
+    WorkloadSpec,
+    load_toml,
+    registry,
+)
+from repro.units import GiB, KiB
+
+_EXAMPLES = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "examples"
+)
+
+
+def _write_toml(tmp_path, body: str):
+    path = tmp_path / "spec.toml"
+    path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return str(path)
+
+
+class TestValidation:
+    def test_unknown_key_reports_dotted_path_and_known_keys(self):
+        with pytest.raises(ScenarioError) as err:
+            ScenarioSpec.from_dict(
+                {"name": "x", "hosts": [{"vms": [{"memory": 2}]}]}
+            )
+        message = str(err.value)
+        assert "scenario.hosts[0].vms[0]" in message
+        assert "'memory'" in message and "memory_gib" in message
+
+    def test_bad_count_reports_nested_path(self):
+        with pytest.raises(ScenarioError, match=r"hosts\[0\].vms\[0\].count"):
+            ScenarioSpec.from_dict(
+                {"name": "x", "hosts": [{"vms": [{"count": 0}]}]}
+            )
+
+    def test_non_numeric_field_is_rejected(self):
+        with pytest.raises(ScenarioError, match="expected a number"):
+            VMSpec.from_dict({"memory_gib": "lots"})
+
+    def test_unknown_workload_kind(self):
+        with pytest.raises(ScenarioError, match="workload.kind"):
+            WorkloadSpec(kind="apachebench")
+
+    def test_unknown_fault_preset(self):
+        with pytest.raises(ScenarioError, match="faults.preset"):
+            FaultSpec(preset="chaos-monkey")
+
+    def test_rolling_maintenance_needs_a_cluster(self):
+        with pytest.raises(ScenarioError, match="needs a cluster"):
+            ScenarioSpec(
+                name="x", maintenance=MaintenanceSpec(kind="rolling")
+            )
+
+    def test_reboot_maintenance_rejects_clusters(self):
+        with pytest.raises(ScenarioError, match="single host"):
+            ScenarioSpec(
+                name="x",
+                hosts=(HostSpec(count=2, vms=(VMSpec(),)),),
+                maintenance=MaintenanceSpec(kind="reboot"),
+            )
+
+    def test_migration_needs_a_spare(self):
+        with pytest.raises(ScenarioError, match="spare"):
+            ScenarioSpec(
+                name="x",
+                hosts=(HostSpec(count=2, vms=(VMSpec(),)),),
+                maintenance=MaintenanceSpec(kind="migration"),
+            )
+
+    def test_periodic_needs_positive_intervals(self):
+        with pytest.raises(ScenarioError, match="periodic"):
+            MaintenanceSpec(kind="periodic", os_interval_s=0.0)
+
+    def test_spare_alone_makes_a_cluster(self):
+        spec = ScenarioSpec(
+            name="x",
+            spare=True,
+            maintenance=MaintenanceSpec(kind="migration", strategy="cold"),
+        )
+        assert spec.is_cluster and spec.host_count == 1
+
+    def test_unit_conversions_are_exact(self):
+        assert VMSpec(memory_gib=4.0).memory_bytes == 4 * GiB
+        assert WorkloadSpec(file_kib=2048.0).file_bytes == 2048 * KiB
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", registry.names())
+    def test_builtins_round_trip_through_dicts(self, name):
+        spec = registry.get(name)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_is_plain_data(self):
+        data = registry.get("mixed-fleet-rolling").to_dict()
+        assert isinstance(data["hosts"][0], dict)
+        assert isinstance(data["hosts"][0]["vms"][0], dict)
+        assert data["hosts"][0]["vms"][0]["services"] == ["apache"]
+
+    def test_faults_spec_materializes_aging_overrides(self):
+        faults = FaultSpec(
+            preset="paper-bugs", domain_destroy_leak_kib=8.0
+        ).to_aging_faults()
+        assert faults.leak_on_domain_destroy_bytes == 8 * KiB
+
+
+class TestTomlLoading:
+    def test_minimal_spec_loads_with_defaults(self, tmp_path):
+        spec = load_toml(_write_toml(tmp_path, 'name = "tiny"\n'))
+        assert spec.name == "tiny"
+        assert spec.host_count == 1 and not spec.is_cluster
+        assert spec.hosts[0].vms[0].services == ("ssh",)
+
+    def test_heterogeneous_fleet_spec_loads(self, tmp_path):
+        spec = load_toml(
+            _write_toml(
+                tmp_path,
+                """
+                name = "mixed"
+
+                [[hosts]]
+                count = 2
+
+                [[hosts.vms]]
+                memory_gib = 1.0
+
+                [[hosts.vms]]
+                memory_gib = 4.0
+                services = ["apache", "ssh"]
+
+                [maintenance]
+                kind = "rolling"
+                """,
+            )
+        )
+        assert spec.host_count == 2 and spec.is_cluster
+        small, large = spec.hosts[0].vms
+        assert small.memory_bytes == 1 * GiB
+        assert large.memory_bytes == 4 * GiB
+        assert large.services == ("apache", "ssh")
+        assert spec.maintenance.kind == "rolling"
+
+    def test_committed_example_loads_and_validates(self):
+        spec = load_toml(os.path.join(_EXAMPLES, "mixed_rolling.toml"))
+        assert spec.name == "mixed-rolling-example"
+        assert spec.host_count == 3
+        memories = sorted(vm.memory_gib for vm in spec.hosts[0].vms)
+        assert memories == [1.0, 4.0]
+        assert spec.maintenance.kind == "rolling"
+
+    def test_missing_file_is_a_scenario_error(self):
+        with pytest.raises(ScenarioError, match="no such spec file"):
+            load_toml("does/not/exist.toml")
+
+    def test_invalid_toml_is_a_scenario_error(self, tmp_path):
+        with pytest.raises(ScenarioError, match="invalid TOML"):
+            load_toml(_write_toml(tmp_path, "name = \n"))
+
+    def test_validation_error_names_the_file(self, tmp_path):
+        path = _write_toml(tmp_path, 'name = "x"\nprofile = "huge"\n')
+        with pytest.raises(ScenarioError, match="spec.toml"):
+            load_toml(path)
