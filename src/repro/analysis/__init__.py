@@ -21,6 +21,21 @@ from repro.analysis.export import (
     write_result,
 )
 from repro.analysis.fitting import LinearFit, fit_constant, fit_line
+from repro.analysis.obs import (
+    CriticalPath,
+    CriticalPathEntry,
+    SpanNode,
+    SpanTree,
+    build_span_tree,
+    capture_simulators,
+    parse_prometheus,
+    perfetto_trace,
+    prometheus_snapshot,
+    reboot_critical_path,
+    reconcile,
+    render_prometheus,
+    write_perfetto,
+)
 from repro.analysis.report import (
     ComparisonRow,
     all_within_tolerance,
@@ -40,25 +55,38 @@ __all__ = [
     "bar_chart",
     "line_plot",
     "ComparisonRow",
+    "CriticalPath",
+    "CriticalPathEntry",
     "DowntimeInterval",
     "DowntimeModel",
     "DowntimeSummary",
     "LinearFit",
+    "SpanNode",
+    "SpanTree",
     "all_within_tolerance",
     "bucketize",
+    "build_span_tree",
+    "capture_simulators",
     "downtime_by_domain",
     "extract_downtimes",
     "fit_constant",
     "fit_line",
     "mean_rate",
     "paper_model",
+    "parse_prometheus",
+    "perfetto_trace",
+    "prometheus_snapshot",
+    "reboot_critical_path",
     "reboot_downtime_summary",
+    "reconcile",
     "render_comparison",
+    "render_prometheus",
     "render_table",
     "result_to_json",
     "rows_to_csv",
     "series_to_csv",
     "sum_series",
+    "write_perfetto",
     "write_result",
     "zero_intervals",
 ]

@@ -1,0 +1,13 @@
+"""``python -m repro.analysis`` — the observability self-check CLI.
+
+Delegates to :func:`repro.analysis.obs.main`; a package-level entry so
+the module is not executed twice (``-m repro.analysis.obs`` would re-run
+``obs`` after the package ``__init__`` already imported it).
+"""
+
+import sys
+
+from repro.analysis.obs import main
+
+if __name__ == "__main__":
+    sys.exit(main())

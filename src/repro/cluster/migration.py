@@ -100,57 +100,68 @@ def live_migrate(
     if vm_spec is None:
         raise MigrationError(f"no VMSpec for {name!r} on {source.name}")
     sim = source.sim
-    sim.trace.record(
-        "migration.start", domain=name, source=source.name,
-        destination=destination.name,
-    )
-    source.machine.nic.set_degradation(spec.source_degradation)
-    try:
-        # Pre-copy rounds: the VM keeps running and serving.
-        residue = float(domain.memory_bytes)
-        for _ in range(spec.max_rounds):
-            yield sim.timeout(residue / spec.rate_bytes_per_s)
-            residue *= spec.dirty_ratio
-        # Stop-and-copy: the only client-visible downtime.
-        for service in guest.services:
-            if service.is_up:
-                sim.trace.record(
-                    "service.down", service=service.name,
-                    service_kind=service.kind, domain=name, reason="migration",
-                )
-        yield sim.timeout(
-            residue / spec.rate_bytes_per_s + spec.stop_copy_downtime_s
+    spans = sim.spans
+    # Own actor track (the migrating domain); causal parent is whatever
+    # cluster maintenance is driving the source host, when any.
+    with spans.span(
+        "migration.vm",
+        actor=name,
+        detail=f"{source.name}->{destination.name}",
+        parent=spans.current(source.name),
+    ):
+        sim.trace.record(
+            "migration.start", domain=name, source=source.name,
+            destination=destination.name,
         )
-        # Rebuild on the destination and hand over the live image,
-        # including the copied memory contents (sentinels travel too).
-        tokens = src_vmm.collect_domain_tokens(domain)
-        new_domain = yield from dst_vmm.create_domain(
-            name, domain.memory_bytes, vcpus=domain.vcpus
+        source.machine.nic.set_degradation(spec.source_degradation)
+        try:
+            # Pre-copy rounds: the VM keeps running and serving.
+            residue = float(domain.memory_bytes)
+            for _ in range(spec.max_rounds):
+                yield sim.timeout(residue / spec.rate_bytes_per_s)
+                residue *= spec.dirty_ratio
+            # Stop-and-copy: the only client-visible downtime.
+            for service in guest.services:
+                if service.is_up:
+                    sim.trace.record(
+                        "service.down", service=service.name,
+                        service_kind=service.kind, domain=name,
+                        reason="migration",
+                    )
+            yield sim.timeout(
+                residue / spec.rate_bytes_per_s + spec.stop_copy_downtime_s
+            )
+            # Rebuild on the destination and hand over the live image,
+            # including the copied memory contents (sentinels travel too).
+            tokens = src_vmm.collect_domain_tokens(domain)
+            new_domain = yield from dst_vmm.create_domain(
+                name, domain.memory_bytes, vcpus=domain.vcpus
+            )
+            new_domain.execution_context = dict(domain.execution_context)
+            dst_vmm.write_domain_tokens(new_domain, tokens)
+            # Source-side ring grants die with the source domain; fresh
+            # ones are established against the destination's backends.
+            guest._grant_refs.clear()
+            guest.rebind(dst_vmm, new_domain)
+            guest.establish_grants()
+            destination.vm_specs[name] = vm_spec
+            destination.machine.disk_store[f"fs:{name}"] = guest.filesystem
+            del source.vm_specs[name]
+            # Tear down the source copy.
+            src_vmm.destroy_domain(name, scrub=True)
+            for service in guest.services:
+                if service.is_up:
+                    sim.trace.record(
+                        "service.up", service=service.name,
+                        service_kind=service.kind, domain=name,
+                        reason="migration",
+                    )
+        finally:
+            source.machine.nic.clear_degradation()
+        sim.trace.record(
+            "migration.done", domain=name, source=source.name,
+            destination=destination.name,
         )
-        new_domain.execution_context = dict(domain.execution_context)
-        dst_vmm.write_domain_tokens(new_domain, tokens)
-        # Source-side ring grants die with the source domain; fresh ones
-        # are established against the destination's backends.
-        guest._grant_refs.clear()
-        guest.rebind(dst_vmm, new_domain)
-        guest.establish_grants()
-        destination.vm_specs[name] = vm_spec
-        destination.machine.disk_store[f"fs:{name}"] = guest.filesystem
-        del source.vm_specs[name]
-        # Tear down the source copy.
-        src_vmm.destroy_domain(name, scrub=True)
-        for service in guest.services:
-            if service.is_up:
-                sim.trace.record(
-                    "service.up", service=service.name,
-                    service_kind=service.kind, domain=name, reason="migration",
-                )
-    finally:
-        source.machine.nic.clear_degradation()
-    sim.trace.record(
-        "migration.done", domain=name, source=source.name,
-        destination=destination.name,
-    )
     return guest
 
 

@@ -58,12 +58,25 @@ class RollingRejuvenator:
     def run(self) -> typing.Generator:
         """Rejuvenate every host sequentially (a process)."""
         sim = self.cluster.sim
-        for host in self.cluster.hosts:
-            started = sim.now
-            yield from host.reboot(self.strategy)
-            self.completed.append(HostRejuvenation(host.name, started, sim.now))
-            if self.settle_s:
-                yield sim.timeout(self.settle_s)
+        with sim.spans.span(
+            "cluster.rolling", actor="cluster", detail=self.strategy.value
+        ):
+            for host in self.cluster.hosts:
+                started = sim.now
+                # On the host's own actor track so the strategy's "reboot"
+                # span nests under it implicitly.
+                with sim.spans.span(
+                    "cluster.host",
+                    actor=host.name,
+                    detail=self.strategy.value,
+                    parent=sim.spans.current("cluster"),
+                ):
+                    yield from host.reboot(self.strategy)
+                self.completed.append(
+                    HostRejuvenation(host.name, started, sim.now)
+                )
+                if self.settle_s:
+                    yield sim.timeout(self.settle_s)
         return self.completed
 
 
@@ -94,11 +107,24 @@ class MigrationRejuvenator:
         spare = self.cluster.spare
         if spare is None:  # guarded in __init__; re-checked for -O safety
             raise ClusterError("spare host disappeared before rejuvenation")
-        for host in self.cluster.hosts:
-            started = sim.now
-            names = yield from migrate_all(host, spare, self.migration)
-            yield from host.reboot(self.strategy)
-            for name in names:
-                yield from live_migrate(spare, host, name, self.migration)
-            self.completed.append(HostRejuvenation(host.name, started, sim.now))
+        with sim.spans.span(
+            "cluster.migration", actor="cluster", detail=self.strategy.value
+        ):
+            for host in self.cluster.hosts:
+                started = sim.now
+                with sim.spans.span(
+                    "cluster.host",
+                    actor=host.name,
+                    detail=self.strategy.value,
+                    parent=sim.spans.current("cluster"),
+                ):
+                    names = yield from migrate_all(host, spare, self.migration)
+                    yield from host.reboot(self.strategy)
+                    for name in names:
+                        yield from live_migrate(
+                            spare, host, name, self.migration
+                        )
+                self.completed.append(
+                    HostRejuvenation(host.name, started, sim.now)
+                )
         return self.completed

@@ -284,32 +284,40 @@ class Host:
             raise RejuvenationError(f"no VM named {name!r} installed")
         domain = vmm.domain(name)
         started = self.sim.now
-        self.sim.trace.record("guest.rejuvenation.start", domain=name)
-        checkpoints: list[dict[str, typing.Any]] = []
-        if checkpoint_processes and domain.guest is not None:
-            costs = self.profile.services
-            for service in domain.guest.services:
-                if service.is_up:
-                    checkpoints.append(service.checkpoint())
-                    yield self.machine.disk.write(
-                        f"{name}:ckpt:{service.name}", costs.checkpoint_bytes
-                    )
-        domain.transition(DomainState.SHUTTING_DOWN)
-        if domain.guest is not None:
-            yield from domain.guest.shutdown()
-            domain.guest.mark_dead()
-        domain.transition(DomainState.SHUTDOWN)
-        vmm.destroy_domain(name)
-        if not checkpoints:
-            guests = yield from self.cold_boot_guests([spec])
-            guest = guests[0]
-        else:
-            guest = yield from self._boot_guest_from_checkpoints(
-                spec, checkpoints
+        spans = self.sim.spans
+        with spans.span(
+            "guest.rejuvenation",
+            actor=name,
+            parent=spans.current(self.name),
+        ):
+            self.sim.trace.record("guest.rejuvenation.start", domain=name)
+            checkpoints: list[dict[str, typing.Any]] = []
+            if checkpoint_processes and domain.guest is not None:
+                costs = self.profile.services
+                for service in domain.guest.services:
+                    if service.is_up:
+                        checkpoints.append(service.checkpoint())
+                        yield self.machine.disk.write(
+                            f"{name}:ckpt:{service.name}", costs.checkpoint_bytes
+                        )
+            domain.transition(DomainState.SHUTTING_DOWN)
+            if domain.guest is not None:
+                yield from domain.guest.shutdown()
+                domain.guest.mark_dead()
+            domain.transition(DomainState.SHUTDOWN)
+            vmm.destroy_domain(name)
+            if not checkpoints:
+                guests = yield from self.cold_boot_guests([spec])
+                guest = guests[0]
+            else:
+                guest = yield from self._boot_guest_from_checkpoints(
+                    spec, checkpoints
+                )
+            self.sim.trace.record(
+                "guest.rejuvenation.done",
+                domain=name,
+                duration=self.sim.now - started,
             )
-        self.sim.trace.record(
-            "guest.rejuvenation.done", domain=name, duration=self.sim.now - started
-        )
         return guest
 
     def _boot_guest_from_checkpoints(

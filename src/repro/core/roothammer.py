@@ -103,15 +103,23 @@ class RootHammerHypervisor(Hypervisor):
         domain = self.domain(name)
         if domain.is_dom0:
             raise DomainError("dom0 cannot be on-memory suspended (§8 future work)")
-        domain.require_state(DomainState.RUNNING)
-        domain.transition(DomainState.SUSPENDING)
-        if domain.guest is not None:
-            yield from domain.guest.run_suspend_handler()
-        freeze = self.profile.vmm.suspend_base_s + (
-            self.profile.vmm.suspend_s_per_gib * (domain.memory_bytes / GiB)
-        )
-        yield self.sim.timeout(self._duration("onmem.suspend", freeze))
-        self.hypercall("suspend", domain)
+        spans = self.sim.spans
+        # domains suspend concurrently, so each is its own span actor; the
+        # causal parent is the host's enclosing reboot span (if any).
+        with spans.span(
+            "vmm.suspend",
+            actor=name,
+            parent=spans.current(self.machine.name),
+        ):
+            domain.require_state(DomainState.RUNNING)
+            domain.transition(DomainState.SUSPENDING)
+            if domain.guest is not None:
+                yield from domain.guest.run_suspend_handler()
+            freeze = self.profile.vmm.suspend_base_s + (
+                self.profile.vmm.suspend_s_per_gib * (domain.memory_bytes / GiB)
+            )
+            yield self.sim.timeout(self._duration("onmem.suspend", freeze))
+            self.hypercall("suspend", domain)
 
     def suspend_all_domus(self) -> typing.Generator:
         """Suspend every domU in parallel (the pre-reboot step of Fig. 3)."""
@@ -156,36 +164,42 @@ class RootHammerHypervisor(Hypervisor):
             raise DomainError(f"domain {name!r} already exists")
         config = image.configuration
         guest = config.get("guest_image")
-        with self.toolstack.request() as grant:
-            yield grant
-            per_domain = (
-                self.profile.vmm.resume_create_s
-                + self.profile.vmm.resume_s_per_gib
-                * (config["memory_bytes"] / GiB)
-                + self.profile.vmm.resume_devices_s
-            )
-            yield self.sim.timeout(self._duration("onmem.resume", per_domain))
-            domain = Domain(
-                next(self._domids),
-                name,
-                config["memory_bytes"],
-                vcpus=config["vcpus"],
-            )
-            domain.p2m = P2MTable.from_snapshot(name, image.p2m_snapshot)
-            self._register_domain(domain, bind_channels=False)
-            self.event_channels.restore_domain(
-                image.execution_state["event_channels"]
-            )
-            domain.execution_context = dict(image.execution_state["context"])
-            # The new record reflects reality: frontends are still detached.
-            domain.devices.detach_all()
-            domain.state = DomainState.SUSPENDED  # adopted mid-suspend
-        if guest is not None:
-            guest.rebind(self, domain)
-            yield from guest.run_resume_handler()
-        domain.transition(DomainState.RUNNING)
-        self.machine.preserved.discard(name)
-        self._trace("vmm.onmem.resumed", domain=name)
+        spans = self.sim.spans
+        with spans.span(
+            "vmm.resume",
+            actor=name,
+            parent=spans.current(self.machine.name),
+        ):
+            with self.toolstack.request() as grant:
+                yield grant
+                per_domain = (
+                    self.profile.vmm.resume_create_s
+                    + self.profile.vmm.resume_s_per_gib
+                    * (config["memory_bytes"] / GiB)
+                    + self.profile.vmm.resume_devices_s
+                )
+                yield self.sim.timeout(self._duration("onmem.resume", per_domain))
+                domain = Domain(
+                    next(self._domids),
+                    name,
+                    config["memory_bytes"],
+                    vcpus=config["vcpus"],
+                )
+                domain.p2m = P2MTable.from_snapshot(name, image.p2m_snapshot)
+                self._register_domain(domain, bind_channels=False)
+                self.event_channels.restore_domain(
+                    image.execution_state["event_channels"]
+                )
+                domain.execution_context = dict(image.execution_state["context"])
+                # The new record reflects reality: frontends are still detached.
+                domain.devices.detach_all()
+                domain.state = DomainState.SUSPENDED  # adopted mid-suspend
+            if guest is not None:
+                guest.rebind(self, domain)
+                yield from guest.run_resume_handler()
+            domain.transition(DomainState.RUNNING)
+            self.machine.preserved.discard(name)
+            self._trace("vmm.onmem.resumed", domain=name)
         return domain
 
     def resume_all_preserved(self) -> typing.Generator:

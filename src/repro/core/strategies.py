@@ -14,10 +14,16 @@ Each strategy returns a :class:`RebootReport` with a named phase timeline
 Service downtimes are *not* in the report — they are measured from trace
 records by :mod:`repro.analysis.downtime`, exactly as the paper measures
 from the client side.
+
+Every strategy also runs inside a ``reboot`` causal span (actor = host
+name, detail = strategy) with one ``reboot.phase`` child span per phase,
+so the Perfetto exporter shows the same breakdown Figure 7 tabulates and
+:func:`repro.analysis.obs.reboot_critical_path` can reconcile the two.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import enum
 import typing
@@ -89,7 +95,15 @@ class RebootReport:
 
 
 class _PhaseClock:
-    """Records named phases against the simulation clock."""
+    """Records named phases against the simulation clock.
+
+    :meth:`phase` is the primary API: a ``with`` block that opens a
+    ``reboot.phase`` child span, runs the phase body (the enclosing
+    generator keeps yielding inside it), and on exit appends the
+    :class:`Phase` and the ``reboot.phase`` trace record — so the span
+    tree and the report are two views of the same measured intervals by
+    construction.
+    """
 
     def __init__(self, host: "Host", report: RebootReport) -> None:
         self._host = host
@@ -106,6 +120,15 @@ class _PhaseClock:
             start=start,
             end=now,
         )
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> typing.Iterator[None]:
+        sim = self._host.sim
+        start = sim.now
+        with sim.spans.span("reboot.phase", actor=self._host.name, detail=name):
+            yield
+            # inside the span, so the record is causally contained in it
+            self.mark(name, start)
 
 
 def _begin(host: "Host", strategy: RebootStrategy) -> tuple[RebootReport, _PhaseClock]:
@@ -153,74 +176,70 @@ def warm_reboot(host: "Host") -> typing.Generator:
         )
     report, clock = _begin(host, RebootStrategy.WARM)
     sim = host.sim
+    with sim.spans.span("reboot", actor=host.name, detail="warm"):
 
-    driver_specs = [
-        spec for spec in host.vm_specs.values() if spec.driver_domain
-    ]
-    if driver_specs:
-        t = sim.now
-        shutdowns = [
-            sim.spawn(host.guest(spec.name).shutdown(), name=f"shutdown:{spec.name}")
-            for spec in driver_specs
-            if spec.name in vmm.domains
+        driver_specs = [
+            spec for spec in host.vm_specs.values() if spec.driver_domain
         ]
-        if shutdowns:
-            yield sim.all_of(shutdowns)
-        for spec in driver_specs:
-            if spec.name in vmm.domains:
-                host.guest(spec.name).mark_dead()
-                vmm.destroy_domain(spec.name)
-        clock.mark("driver-domain-shutdown", t)
+        if driver_specs:
+            with clock.phase("driver-domain-shutdown"):
+                shutdowns = [
+                    sim.spawn(
+                        host.guest(spec.name).shutdown(),
+                        name=f"shutdown:{spec.name}",
+                    )
+                    for spec in driver_specs
+                    if spec.name in vmm.domains
+                ]
+                if shutdowns:
+                    yield sim.all_of(shutdowns)
+                for spec in driver_specs:
+                    if spec.name in vmm.domains:
+                        host.guest(spec.name).mark_dead()
+                        vmm.destroy_domain(spec.name)
 
-    t = sim.now
-    yield from vmm.xexec_load()
-    clock.mark("xexec-load", t)
+        with clock.phase("xexec-load"):
+            yield from vmm.xexec_load()
 
-    # dom0 shuts down while domU services are still running (§4.2's
-    # downtime-reducing delay: the VMM, not dom0, will do the suspends).
-    t = sim.now
-    yield from host.shutdown_dom0()
-    clock.mark("dom0-shutdown", t)
+        # dom0 shuts down while domU services are still running (§4.2's
+        # downtime-reducing delay: the VMM, not dom0, will do the suspends).
+        with clock.phase("dom0-shutdown"):
+            yield from host.shutdown_dom0()
 
-    t = sim.now
-    yield from vmm.suspend_all_domus()
-    clock.mark("suspend", t)
+        with clock.phase("suspend"):
+            yield from vmm.suspend_all_domus()
 
-    t = sim.now
-    yield from vmm.shutdown()
-    clock.mark("vmm-shutdown", t)
+        with clock.phase("vmm-shutdown"):
+            yield from vmm.shutdown()
 
-    t = sim.now
-    yield from host.machine.quick_reload_window()
-    yield sim.timeout(
-        host.machine.duration("quick.reload", host.profile.vmm.reload_jump_s)
-    )
-    clock.mark("quick-reload", t)
+        with clock.phase("quick-reload"):
+            yield from host.machine.quick_reload_window()
+            yield sim.timeout(
+                host.machine.duration(
+                    "quick.reload", host.profile.vmm.reload_jump_s
+                )
+            )
 
-    t = sim.now
-    yield from host.boot_vmm_instance()
-    clock.mark("vmm-boot", t)
+        with clock.phase("vmm-boot"):
+            yield from host.boot_vmm_instance()
 
-    t = sim.now
-    yield from host.boot_dom0()
-    clock.mark("dom0-boot", t)
+        with clock.phase("dom0-boot"):
+            yield from host.boot_dom0()
 
-    t = sim.now
-    new_vmm = host.require_vmm()
-    if not isinstance(new_vmm, RootHammerHypervisor):
-        raise RejuvenationError(
-            "warm reboot requires a RootHammerHypervisor, got "
-            f"{type(new_vmm).__name__}"
-        )
-    resumed = yield from new_vmm.resume_all_preserved()
-    host.apply_creation_quirk(len(resumed))
-    host.apply_scheduler_params()
-    clock.mark("resume", t)
+        with clock.phase("resume"):
+            new_vmm = host.require_vmm()
+            if not isinstance(new_vmm, RootHammerHypervisor):
+                raise RejuvenationError(
+                    "warm reboot requires a RootHammerHypervisor, got "
+                    f"{type(new_vmm).__name__}"
+                )
+            resumed = yield from new_vmm.resume_all_preserved()
+            host.apply_creation_quirk(len(resumed))
+            host.apply_scheduler_params()
 
-    if driver_specs:
-        t = sim.now
-        yield from host.cold_boot_guests(driver_specs)
-        clock.mark("driver-domain-boot", t)
+        if driver_specs:
+            with clock.phase("driver-domain-boot"):
+                yield from host.cold_boot_guests(driver_specs)
 
     return _finish(host, report)
 
@@ -239,59 +258,56 @@ def saved_reboot(host: "Host", variant: typing.Any = None) -> typing.Generator:
     vmm = host.require_vmm()
     report, clock = _begin(host, RebootStrategy.SAVED)
     sim = host.sim
+    with sim.spans.span("reboot", actor=host.name, detail="saved"):
 
-    names = [d.name for d in vmm.domus if d.state is DomainState.RUNNING]
-    t = sim.now
-    saves = []
-    for name in names:
-        # The save of each domain is kicked off serially by dom0's scripts
-        # but the disk transfers themselves overlap.
-        yield sim.timeout(
-            host.machine.duration("dom0.signal", host.profile.vmm.shutdown_signal_s)
-        )
-        saves.append(
-            sim.spawn(
-                vmm.save_domain_to_disk(name, variant=variant),
-                name=f"save:{name}",
-            )
-        )
-    if saves:
-        yield sim.all_of(saves)
-    clock.mark("save", t)
+        names = [d.name for d in vmm.domus if d.state is DomainState.RUNNING]
+        with clock.phase("save"):
+            saves = []
+            for name in names:
+                # The save of each domain is kicked off serially by dom0's
+                # scripts but the disk transfers themselves overlap.
+                yield sim.timeout(
+                    host.machine.duration(
+                        "dom0.signal", host.profile.vmm.shutdown_signal_s
+                    )
+                )
+                saves.append(
+                    sim.spawn(
+                        vmm.save_domain_to_disk(name, variant=variant),
+                        name=f"save:{name}",
+                    )
+                )
+            if saves:
+                yield sim.all_of(saves)
 
-    t = sim.now
-    yield from host.shutdown_dom0()
-    clock.mark("dom0-shutdown", t)
+        with clock.phase("dom0-shutdown"):
+            yield from host.shutdown_dom0()
 
-    t = sim.now
-    yield from vmm.shutdown()
-    clock.mark("vmm-shutdown", t)
+        with clock.phase("vmm-shutdown"):
+            yield from vmm.shutdown()
 
-    t = sim.now
-    yield from host.machine.hardware_reset()
-    clock.mark("hardware-reset", t)
+        with clock.phase("hardware-reset"):
+            yield from host.machine.hardware_reset()
 
-    t = sim.now
-    yield from host.boot_vmm_instance()
-    clock.mark("vmm-boot", t)
+        with clock.phase("vmm-boot"):
+            yield from host.boot_vmm_instance()
 
-    t = sim.now
-    yield from host.boot_dom0()
-    clock.mark("dom0-boot", t)
+        with clock.phase("dom0-boot"):
+            yield from host.boot_dom0()
 
-    t = sim.now
-    new_vmm = host.require_vmm()
-    restores = [
-        sim.spawn(
-            new_vmm.restore_domain_from_disk(name), name=f"restore:{name}"
-        )
-        for name in names
-    ]
-    if restores:
-        yield sim.all_of(restores)
-    host.apply_creation_quirk(len(restores))
-    host.apply_scheduler_params()
-    clock.mark("restore", t)
+        with clock.phase("restore"):
+            new_vmm = host.require_vmm()
+            restores = [
+                sim.spawn(
+                    new_vmm.restore_domain_from_disk(name),
+                    name=f"restore:{name}",
+                )
+                for name in names
+            ]
+            if restores:
+                yield sim.all_of(restores)
+            host.apply_creation_quirk(len(restores))
+            host.apply_scheduler_params()
 
     return _finish(host, report)
 
@@ -305,53 +321,52 @@ def cold_reboot(host: "Host") -> typing.Generator:
     vmm = host.require_vmm()
     report, clock = _begin(host, RebootStrategy.COLD)
     sim = host.sim
+    with sim.spans.span("reboot", actor=host.name, detail="cold"):
 
-    domus = [d for d in vmm.domus if d.state is DomainState.RUNNING]
-    t = sim.now
-    shutdowns = []
-    for domain in domus:
-        # dom0's shutdown script signals the guests one at a time.
-        yield sim.timeout(
-            host.machine.duration("dom0.signal", host.profile.vmm.shutdown_signal_s)
-        )
-        domain.transition(DomainState.SHUTTING_DOWN)
-        if domain.guest is not None:
-            shutdowns.append(
-                sim.spawn(domain.guest.shutdown(), name=f"shutdown:{domain.name}")
-            )
-    if shutdowns:
-        yield sim.all_of(shutdowns)
-    for domain in domus:
-        domain.transition(DomainState.SHUTDOWN)
-        if domain.guest is not None:
-            domain.guest.mark_dead()
-        vmm.destroy_domain(domain.name)
-    clock.mark("guest-shutdown", t)
+        domus = [d for d in vmm.domus if d.state is DomainState.RUNNING]
+        with clock.phase("guest-shutdown"):
+            shutdowns = []
+            for domain in domus:
+                # dom0's shutdown script signals the guests one at a time.
+                yield sim.timeout(
+                    host.machine.duration(
+                        "dom0.signal", host.profile.vmm.shutdown_signal_s
+                    )
+                )
+                domain.transition(DomainState.SHUTTING_DOWN)
+                if domain.guest is not None:
+                    shutdowns.append(
+                        sim.spawn(
+                            domain.guest.shutdown(),
+                            name=f"shutdown:{domain.name}",
+                        )
+                    )
+            if shutdowns:
+                yield sim.all_of(shutdowns)
+            for domain in domus:
+                domain.transition(DomainState.SHUTDOWN)
+                if domain.guest is not None:
+                    domain.guest.mark_dead()
+                vmm.destroy_domain(domain.name)
 
-    t = sim.now
-    yield from host.shutdown_dom0()
-    clock.mark("dom0-shutdown", t)
+        with clock.phase("dom0-shutdown"):
+            yield from host.shutdown_dom0()
 
-    t = sim.now
-    yield from vmm.shutdown()
-    clock.mark("vmm-shutdown", t)
+        with clock.phase("vmm-shutdown"):
+            yield from vmm.shutdown()
 
-    t = sim.now
-    yield from host.machine.hardware_reset()
-    clock.mark("hardware-reset", t)
+        with clock.phase("hardware-reset"):
+            yield from host.machine.hardware_reset()
 
-    t = sim.now
-    yield from host.boot_vmm_instance()
-    clock.mark("vmm-boot", t)
+        with clock.phase("vmm-boot"):
+            yield from host.boot_vmm_instance()
 
-    t = sim.now
-    yield from host.boot_dom0()
-    clock.mark("dom0-boot", t)
+        with clock.phase("dom0-boot"):
+            yield from host.boot_dom0()
 
-    t = sim.now
-    specs = [host.vm_specs[d.name] for d in domus]
-    yield from host.cold_boot_guests(specs)
-    clock.mark("guest-boot", t)
+        with clock.phase("guest-boot"):
+            specs = [host.vm_specs[d.name] for d in domus]
+            yield from host.cold_boot_guests(specs)
 
     return _finish(host, report)
 
@@ -388,20 +403,24 @@ def dom0_reboot(host: "Host") -> typing.Generator:
                         reason=reason,
                     )
 
-    t = sim.now
-    mark("down", "dom0-reboot")
-    yield from host.shutdown_dom0()
-    clock.mark("dom0-shutdown", t)
+    with sim.spans.span("reboot", actor=host.name, detail="dom0-only"):
 
-    t = sim.now
-    vmm = host.require_vmm()
-    dom0 = vmm.domain("Domain-0")
-    dom0.state = DomainState.BUILDING  # rebuilt in place by the VMM
-    dom0.transition(DomainState.RUNNING)
-    vmm.xenstore = type(vmm.xenstore)(faults=host.faults)  # fresh daemon
-    yield sim.timeout(host.machine.duration("dom0.boot", host.profile.dom0.boot_s))
-    mark("up", "dom0-reboot")
-    clock.mark("dom0-boot", t)
+        with clock.phase("dom0-shutdown"):
+            mark("down", "dom0-reboot")
+            yield from host.shutdown_dom0()
+
+        with clock.phase("dom0-boot"):
+            vmm = host.require_vmm()
+            dom0 = vmm.domain("Domain-0")
+            dom0.state = DomainState.BUILDING  # rebuilt in place by the VMM
+            dom0.transition(DomainState.RUNNING)
+            vmm.xenstore = type(vmm.xenstore)(  # fresh daemon
+                faults=host.faults, metrics=sim.metrics
+            )
+            yield sim.timeout(
+                host.machine.duration("dom0.boot", host.profile.dom0.boot_s)
+            )
+            mark("up", "dom0-reboot")
 
     return _finish(host, report)
 

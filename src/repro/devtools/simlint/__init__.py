@@ -22,6 +22,15 @@ SL004   direct ``heapq`` operation on ``Simulator._heap`` outside
 SL005   bare ``assert`` in library code (vanishes under ``python -O``)
 SL006   ``record()`` payload keys that do not match the typed columns
         declared in :data:`repro.simkernel.tracing.TRACE_SCHEMA`
+SL007   ad-hoc stack construction in an experiment module (bypasses
+        the declarative scenario layer the bit-identical-rows
+        contract is pinned to)
+SL008   observability naming: span names outside
+        :data:`repro.simkernel.spans.SPAN_NAMES`, metric names or
+        kinds not matching
+        :data:`repro.simkernel.metrics.METRIC_SCHEMA`, or
+        hand-written ``span.*`` trace records outside
+        ``simkernel/spans.py`` (unbalanced begin/end)
 ======  ==============================================================
 
 Run it as ``python -m repro.devtools.simlint src/`` (``--format=json``

@@ -111,6 +111,18 @@ def _trace_schema() -> typing.Mapping[str, typing.Any]:
     return TRACE_SCHEMA
 
 
+def _span_names() -> typing.AbstractSet[str]:
+    from repro.simkernel.spans import SPAN_NAMES
+
+    return SPAN_NAMES
+
+
+def _metric_schema() -> typing.Mapping[str, typing.Any]:
+    from repro.simkernel.metrics import METRIC_SCHEMA
+
+    return METRIC_SCHEMA
+
+
 def lint_source(
     source: str,
     path: str,
@@ -125,6 +137,8 @@ def lint_source(
     raw = RuleVisitor(
         policy if policy is not None else ModulePolicy.for_path(path),
         _trace_schema(),
+        span_names=_span_names(),
+        metric_schema=_metric_schema(),
     ).check(tree)
     suppressions = _Suppressions.parse(source)
     findings: list[Finding] = []

@@ -1,10 +1,12 @@
-"""The simlint rule engine: one AST walk, six codebase-specific rules.
+"""The simlint rule engine: one AST walk, eight codebase-specific rules.
 
 Every rule is deliberately *syntactic and local* — no type inference, no
 cross-module resolution — so findings are cheap to verify by eye and the
 linter stays dependency-free.  Where a rule needs declared facts (SL006's
-payload schema) they live next to the code they describe
-(:data:`repro.simkernel.tracing.TRACE_SCHEMA`), not here.
+payload schema, SL008's span/metric registries) they live next to the
+code they describe (:data:`repro.simkernel.tracing.TRACE_SCHEMA`,
+:data:`repro.simkernel.spans.SPAN_NAMES`,
+:data:`repro.simkernel.metrics.METRIC_SCHEMA`), not here.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ RULES: dict[str, str] = {
     "SL005": "bare assert in library code",
     "SL006": "trace record() payload does not match TRACE_SCHEMA",
     "SL007": "ad-hoc stack construction in an experiment module",
+    "SL008": "unregistered span/metric name, or hand-written span record",
 }
 
 # SL001 — anything that reads the host clock.  Simulated components must
@@ -76,6 +79,11 @@ _ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "iter", "enumerate", "rever
 
 _SET_ANNOTATIONS = ("set", "frozenset", "typing.Set", "typing.FrozenSet", "Set", "FrozenSet")
 
+# SL008 — metric factory methods, whose name doubles as the expected
+# registry kind (``metrics.counter("x")`` demands ``METRIC_SCHEMA["x"]``
+# be declared a counter).
+_METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
 # SL007 — stack entry points experiment modules must not call directly.
 # Experiments build their testbeds through the declarative scenario layer
 # (repro.scenario.ScenarioBuilder / common.build_testbed), which is the
@@ -92,6 +100,7 @@ class ModulePolicy:
     is_driver: bool = False  # CLI/sweep drivers: monotonic clocks allowed
     is_devtools: bool = False  # not simulation code: SL001-SL003 exempt
     is_experiment: bool = False  # repro/experiments/: SL007 applies
+    is_span_owner: bool = False  # simkernel/spans.py: may write span.* records
 
     @classmethod
     def for_path(cls, path: str) -> "ModulePolicy":
@@ -104,6 +113,7 @@ class ModulePolicy:
             or norm.endswith("experiments/parallel.py"),
             is_devtools="repro/devtools/" in norm,
             is_experiment="repro/experiments/" in norm,
+            is_span_owner=norm.endswith("simkernel/spans.py"),
         )
 
 
@@ -246,9 +256,13 @@ class RuleVisitor(ast.NodeVisitor):
         self,
         policy: ModulePolicy,
         trace_schema: typing.Mapping[str, typing.Any],
+        span_names: typing.AbstractSet[str] = frozenset(),
+        metric_schema: typing.Mapping[str, typing.Any] | None = None,
     ) -> None:
         self.policy = policy
         self.trace_schema = trace_schema
+        self.span_names = span_names
+        self.metric_schema = metric_schema if metric_schema is not None else {}
         self.findings: list[RawFinding] = []
         self.imports: dict[str, str] = {}
         self.set_facts = _SetFactPass()
@@ -318,6 +332,10 @@ class RuleVisitor(ast.NodeVisitor):
                 self._check_order_sensitive_call(node, "join")
             if func.attr in ("record", "_trace"):
                 self._check_trace_record(node, func)
+            if func.attr == "span":
+                self._check_span_name(node, func)
+            if func.attr in _METRIC_FACTORIES:
+                self._check_metric_name(node, func)
             if (
                 func.attr in ("append", "insert", "extend", "pop")
                 and isinstance(func.value, ast.Attribute)
@@ -501,7 +519,63 @@ class RuleVisitor(ast.NodeVisitor):
         )
         self.generic_visit(node)
 
-    # -- SL006: trace payload schema ---------------------------------------
+    # -- SL008: registered span / metric names -----------------------------
+
+    @staticmethod
+    def _first_literal_arg(node: ast.Call) -> str | None:
+        """The call's first positional argument, if a string literal."""
+        if not node.args:
+            return None
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        return None  # dynamic name: not statically checkable
+
+    @staticmethod
+    def _receiver_is(func: ast.Attribute, expected: str) -> bool:
+        """True for ``<anything>.<expected>.<attr>`` / ``<expected>.<attr>``."""
+        value = func.value
+        if isinstance(value, ast.Attribute):
+            return value.attr == expected
+        return isinstance(value, ast.Name) and value.id == expected
+
+    def _check_span_name(self, node: ast.Call, func: ast.Attribute) -> None:
+        if not self.span_names or not self._receiver_is(func, "spans"):
+            return
+        name = self._first_literal_arg(node)
+        if name is not None and name not in self.span_names:
+            self._emit(
+                "SL008",
+                node,
+                f"span name {name!r} is not registered in simkernel.spans"
+                ".SPAN_NAMES; the taxonomy is closed — put per-instance "
+                "variation in detail=",
+            )
+
+    def _check_metric_name(self, node: ast.Call, func: ast.Attribute) -> None:
+        if not self.metric_schema or not self._receiver_is(func, "metrics"):
+            return
+        name = self._first_literal_arg(node)
+        if name is None:
+            return
+        spec = self.metric_schema.get(name)
+        if spec is None:
+            self._emit(
+                "SL008",
+                node,
+                f"metric {name!r} is not registered in simkernel.metrics"
+                ".METRIC_SCHEMA; declare its kind/help/unit there first",
+            )
+        elif spec.kind != func.attr:
+            self._emit(
+                "SL008",
+                node,
+                f"metric {name!r} is registered as a {spec.kind} but "
+                f"requested via .{func.attr}(); instrument kinds are fixed "
+                "in METRIC_SCHEMA",
+            )
+
+    # -- SL006: trace payload schema (and SL008's span-record bar) ---------
 
     def _check_trace_record(self, node: ast.Call, func: ast.Attribute) -> None:
         is_helper = func.attr == "_trace"
@@ -510,6 +584,21 @@ class RuleVisitor(ast.NodeVisitor):
         if not node.args:
             return
         kind_node = node.args[0]
+        if (
+            isinstance(kind_node, ast.Constant)
+            and isinstance(kind_node.value, str)
+            and kind_node.value.startswith("span.")
+            and not self.policy.is_span_owner
+        ):
+            # Hand-written span.begin/span.end records can't be balanced-
+            # checked; only the context-manager API may emit them.
+            self._emit(
+                "SL008",
+                node,
+                f"hand-written {kind_node.value!r} record; span records "
+                "must go through sim.spans.span(...) so begin/end stay "
+                "balanced (only simkernel/spans.py writes them directly)",
+            )
         # The hypervisor's _trace() helper stamps vmm_generation itself.
         implicit = frozenset({"vmm_generation"}) if is_helper else frozenset()
         keys = {kw.arg for kw in node.keywords if kw.arg is not None}

@@ -187,21 +187,31 @@ class GuestKernel:
             )
         machine = self.machine
         guest_spec = self.profile.guest
+        sim = self.sim
         self.state = GuestState.BOOTING
         self.boot_epoch = next(_boot_epochs)
-        self.sim.trace.record("guest.boot.start", domain=self.name)
-        yield self.sim.timeout(self.duration("boot.fixed", guest_spec.boot_fixed_s))
-        disk_phase = machine.disk.read(f"boot:{self.name}", guest_spec.boot_read_bytes)
-        cpu_phase = self.cpu_execute(
-            self.duration("boot.cpu", guest_spec.boot_cpu_s)
-        )
-        yield self.sim.all_of([disk_phase, cpu_phase])
-        self.write_sentinels()
-        self.establish_grants()
-        for service in self.services:
-            yield from service.start(self)
-        self.state = GuestState.RUNNING
-        self.sim.trace.record("guest.boot.done", domain=self.name)
+        # guests boot concurrently: own actor track, causal parent is the
+        # host's enclosing reboot/maintenance span when one is open
+        with sim.spans.span(
+            "guest.boot",
+            actor=self.name,
+            parent=sim.spans.current(machine.name),
+        ):
+            sim.trace.record("guest.boot.start", domain=self.name)
+            yield sim.timeout(self.duration("boot.fixed", guest_spec.boot_fixed_s))
+            disk_phase = machine.disk.read(
+                f"boot:{self.name}", guest_spec.boot_read_bytes
+            )
+            cpu_phase = self.cpu_execute(
+                self.duration("boot.cpu", guest_spec.boot_cpu_s)
+            )
+            yield sim.all_of([disk_phase, cpu_phase])
+            self.write_sentinels()
+            self.establish_grants()
+            for service in self.services:
+                yield from service.start(self)
+            self.state = GuestState.RUNNING
+            sim.trace.record("guest.boot.done", domain=self.name)
         return self
 
     def shutdown(self) -> typing.Generator:
@@ -212,25 +222,33 @@ class GuestKernel:
             )
         machine = self.machine
         guest_spec = self.profile.guest
+        sim = self.sim
         self.state = GuestState.SHUTTING_DOWN
-        self.sim.trace.record("guest.shutdown.start", domain=self.name)
-        yield self.sim.timeout(
-            self.duration("shutdown.stop", guest_spec.shutdown_service_stop_s)
-        )
-        for service in self.services:
-            service.mark_stopped(reason="shutdown")
-        self.revoke_grants()
-        # Unmount path: sync dirty data, then the remaining fixed teardown.
-        # Sequential on purpose — concurrent shutdowns then contend on the
-        # disk, giving the paper's ~0.4 s/VM shutdown slope.
-        yield machine.disk.write(f"sync:{self.name}", guest_spec.shutdown_sync_bytes)
-        remainder = max(
-            0.0,
-            guest_spec.shutdown_fixed_s - guest_spec.shutdown_service_stop_s,
-        )
-        yield self.sim.timeout(self.duration("shutdown.fixed", remainder))
-        self.state = GuestState.OFF
-        self.sim.trace.record("guest.shutdown.done", domain=self.name)
+        with sim.spans.span(
+            "guest.shutdown",
+            actor=self.name,
+            parent=sim.spans.current(machine.name),
+        ):
+            sim.trace.record("guest.shutdown.start", domain=self.name)
+            yield sim.timeout(
+                self.duration("shutdown.stop", guest_spec.shutdown_service_stop_s)
+            )
+            for service in self.services:
+                service.mark_stopped(reason="shutdown")
+            self.revoke_grants()
+            # Unmount path: sync dirty data, then the remaining fixed
+            # teardown.  Sequential on purpose — concurrent shutdowns then
+            # contend on the disk, giving the paper's ~0.4 s/VM slope.
+            yield machine.disk.write(
+                f"sync:{self.name}", guest_spec.shutdown_sync_bytes
+            )
+            remainder = max(
+                0.0,
+                guest_spec.shutdown_fixed_s - guest_spec.shutdown_service_stop_s,
+            )
+            yield sim.timeout(self.duration("shutdown.fixed", remainder))
+            self.state = GuestState.OFF
+            sim.trace.record("guest.shutdown.done", domain=self.name)
 
     # -- suspend / resume handlers (§4.2) ----------------------------------------------
 
@@ -307,12 +325,19 @@ class GuestKernel:
         nbytes = size if nbytes is None else min(nbytes, size)
         cached, uncached = self.page_cache.split_read(path, nbytes)
         machine = self.machine
+        metrics = self.sim.metrics
         if cached:
             yield machine.membus.execute(float(cached))
             self.page_cache.touch(path)
+            metrics.counter(
+                "guest.page_cache_hit_bytes", domain=self.name
+            ).inc(cached)
         if uncached:
             yield machine.disk.read(f"{self.name}:{path}", uncached)
             self.page_cache.insert(path, uncached)
+            metrics.counter(
+                "guest.page_cache_miss_bytes", domain=self.name
+            ).inc(uncached)
         return nbytes
 
     def warm_file_cache(self, paths: typing.Iterable[str]) -> typing.Generator:

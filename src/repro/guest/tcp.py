@@ -90,6 +90,11 @@ class TcpSession:
                 # Process stopped (shutdown): RST on next packet.
                 self._fail(SessionState.RESET)
                 return
+            # Every probe into an outage window is a client retransmission
+            # riding out the reboot (§5.3).
+            self.sim.metrics.counter(
+                "guest.tcp_retransmits", session=self.name
+            ).inc()
             if self._unreachable_since is None:
                 self._unreachable_since = self.sim.now
             elif self.sim.now - self._unreachable_since >= self.client_timeout_s:

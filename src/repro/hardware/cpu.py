@@ -25,6 +25,7 @@ class CpuPool:
         self._pool = SharedPool(
             sim, capacity=float(spec.cores), per_job_cap=1.0, name=f"{name}.pool"
         )
+        self._metric_runnable = sim.metrics.gauge("cpu.runnable", cpu=name)
 
     @property
     def cores(self) -> int:
@@ -39,7 +40,9 @@ class CpuPool:
         """Run ``core_seconds`` of single-threaded work; event fires when done."""
         if core_seconds < 0:
             raise HardwareError(f"negative CPU work {core_seconds}")
-        return self._pool.execute(core_seconds, weight=weight)
+        event = self._pool.execute(core_seconds, weight=weight)
+        self._metric_runnable.set(self._pool.active_jobs)
+        return event
 
     def execute_shared(
         self, core_seconds: float, weight: float = 1.0, cap: float | None = None
@@ -47,7 +50,9 @@ class CpuPool:
         """Weighted, optionally capped execution (credit-scheduler path)."""
         if core_seconds < 0:
             raise HardwareError(f"negative CPU work {core_seconds}")
-        return self._pool.execute(core_seconds, weight=weight, cap=cap)
+        event = self._pool.execute(core_seconds, weight=weight, cap=cap)
+        self._metric_runnable.set(self._pool.active_jobs)
+        return event
 
     def cancel(self, event: Event) -> None:
         """Abort a running job (its event fails, pre-defused)."""

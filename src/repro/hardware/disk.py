@@ -53,6 +53,8 @@ class Disk:
         self._head = Resource(sim, capacity=1, name=f"{name}.head")
         self._last_stream: typing.Hashable = None
         self.stats = DiskStats()
+        self._metric_queue = sim.metrics.gauge("disk.queue_depth", disk=name)
+        self._metric_busy = sim.metrics.counter("disk.busy_seconds", disk=name)
 
     # -- public API --------------------------------------------------------------
 
@@ -99,6 +101,7 @@ class Disk:
         while remaining > 0:
             with self._head.request() as grant:
                 yield grant
+                self._metric_queue.set(self._head.queued)
                 contended = self._head.queued > 0
                 burst_chunks = 1 if contended else _UNCONTENDED_BURST_CHUNKS
                 take = min(remaining, burst_chunks * self.spec.chunk_bytes)
@@ -110,6 +113,7 @@ class Disk:
                     self.stats.seeks += 1
                 self.stats.requests += 1
                 yield self.sim.timeout(service_time)
+                self._metric_busy.inc(service_time)
                 remaining -= take
                 if op == "read":
                     self.stats.bytes_read += take

@@ -28,6 +28,7 @@ class NetworkLink:
         self._up = True
         self._tx_name = name + ".tx"
         self.bytes_sent = 0
+        self._metric_tx = sim.metrics.counter("nic.tx_bytes", nic=name)
 
     # -- link state ----------------------------------------------------------------
 
@@ -89,6 +90,7 @@ class NetworkLink:
                 done.fail(HardwareError(f"{self.name} transfer aborted"))
             else:
                 self.bytes_sent += nbytes
+                self._metric_tx.inc(nbytes)
                 if latency:
                     # Deliver at last-byte time without a timer allocation.
                     done.succeed_at(sim._now + latency, nbytes)

@@ -51,7 +51,25 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = registry.resolve(args.spec)
-    report = run_scenario(spec)
+    if args.trace_out:
+        import os
+
+        from repro.analysis.obs import capture_simulators, write_perfetto
+
+        previous = os.environ.get("REPRO_METRICS")
+        os.environ["REPRO_METRICS"] = "1"  # the builder owns Simulator creation
+        try:
+            with capture_simulators() as sims:
+                report = run_scenario(spec)
+        finally:
+            if previous is None:
+                del os.environ["REPRO_METRICS"]
+            else:
+                os.environ["REPRO_METRICS"] = previous
+        for sim in sims:
+            print(f"wrote {write_perfetto(args.trace_out, sim.trace, sim.metrics)}")
+    else:
+        report = run_scenario(spec)
     print(report.render())
     return 0
 
@@ -79,6 +97,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one scenario end-to-end")
     run.add_argument("spec", metavar="NAME|SPEC.toml")
+    run.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Perfetto trace (spans + metric counter tracks) of "
+        "the run; implies metrics collection (REPRO_METRICS=1)",
+    )
     run.set_defaults(fn=_cmd_run)
     return parser
 

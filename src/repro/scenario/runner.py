@@ -50,6 +50,11 @@ class ScenarioReport:
     workloads: list[WorkloadReport]
     maintenance: dict[str, typing.Any]
     faults: dict[str, typing.Any]
+    metrics: dict[str, list[dict[str, typing.Any]]] = dataclasses.field(
+        default_factory=dict
+    )
+    """Registry snapshot (see :meth:`MetricsRegistry.snapshot`); empty
+    unless the run's simulator had metrics enabled (``REPRO_METRICS=1``)."""
 
     def to_dict(self) -> dict:
         return {
@@ -60,6 +65,7 @@ class ScenarioReport:
             "workloads": [w.to_dict() for w in self.workloads],
             "maintenance": dict(self.maintenance),
             "faults": dict(self.faults),
+            "metrics": dict(self.metrics),
         }
 
     def render(self) -> str:
@@ -84,6 +90,11 @@ class ScenarioReport:
                 for key, value in sorted(workload.metrics.items())
             )
             lines.append(f"  {workload.kind} on {workload.vm}: {pairs}")
+        if self.metrics:
+            series = sum(len(entries) for entries in self.metrics.values())
+            lines.append(
+                f"  metrics: {len(self.metrics)} name(s), {series} series"
+            )
         return "\n".join(lines)
 
 
@@ -227,6 +238,7 @@ def run_scenario(
         workloads=reports,
         maintenance=maintenance_report,
         faults=fault_report,
+        metrics=sim.metrics.snapshot() if sim.metrics.enabled else {},
     )
 
 

@@ -13,11 +13,24 @@ This subpackage is self-contained (no dependencies on the rest of
 * :class:`~repro.simkernel.tracing.Tracer` — typed trace records;
 * :class:`~repro.simkernel.rng.RandomStreams` — named seeded RNG streams;
 * :class:`~repro.simkernel.sanitizer.DeterminismSanitizer` — opt-in runtime
-  determinism checks (``Simulator(sanitize=True)`` / ``REPRO_SANITIZE=1``).
+  determinism checks (``Simulator(sanitize=True)`` / ``REPRO_SANITIZE=1``);
+* :class:`~repro.simkernel.spans.SpanTracker` — nestable causal spans over
+  the tracer (``sim.spans``), the substrate for the Perfetto exporter and
+  the downtime critical-path analyzer;
+* :class:`~repro.simkernel.metrics.MetricsRegistry` — counters, gauges and
+  histograms (``sim.metrics``; opt-in via ``Simulator(metrics=True)`` /
+  ``REPRO_METRICS=1``, no-op otherwise).
 """
 
 from repro.simkernel.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.simkernel.kernel import Simulator, TimerHandle
+from repro.simkernel.metrics import (
+    METRIC_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.simkernel.process import Process
 from repro.simkernel.resources import Request, Resource, Store
 from repro.simkernel.rng import RandomStreams
@@ -27,22 +40,31 @@ from repro.simkernel.sanitizer import (
     SanitizerReport,
 )
 from repro.simkernel.sharing import SharedPool
+from repro.simkernel.spans import SPAN_NAMES, Span, SpanTracker
 from repro.simkernel.tracing import TraceRecord, Tracer
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Counter",
     "DeterminismSanitizer",
     "DeterminismWarning",
     "Event",
+    "Gauge",
+    "Histogram",
     "Interrupt",
+    "METRIC_SCHEMA",
+    "MetricsRegistry",
     "Process",
     "RandomStreams",
     "Request",
     "Resource",
+    "SPAN_NAMES",
     "SanitizerReport",
     "SharedPool",
     "Simulator",
+    "Span",
+    "SpanTracker",
     "Store",
     "TimerHandle",
     "TraceRecord",

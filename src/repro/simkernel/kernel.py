@@ -38,6 +38,15 @@ from repro.simkernel.events import (
 )
 from repro.simkernel.process import Process, ProcessGenerator
 
+_observers: list[typing.Callable[["Simulator"], None]] = []
+"""Callbacks invoked with each newly constructed :class:`Simulator`.
+
+Normally empty; :func:`repro.analysis.obs.capture_simulators` registers
+one so CLI trace export can reach simulators built deep inside
+experiment runners.  Construction-time only — observers never see run
+events and cannot perturb anything.
+"""
+
 
 class TimerHandle:
     """A cancellable scheduled callback (see :meth:`Simulator.call_at`).
@@ -93,8 +102,16 @@ class Simulator:
         ``True`` attaches a
         :class:`~repro.simkernel.sanitizer.DeterminismSanitizer` (exposed as
         ``sim.sanitizer``) that observes the run for determinism hazards
-        without perturbing it.  ``None`` (the default) consults the
+        without perturbing it, and turns on runtime trace-schema
+        validation (:meth:`~repro.simkernel.tracing.Tracer
+        .enable_schema_validation`).  ``None`` (the default) consults the
         ``REPRO_SANITIZE`` environment variable.
+    metrics:
+        ``True`` enables the :class:`~repro.simkernel.metrics
+        .MetricsRegistry` exposed as ``sim.metrics`` (instruments
+        accumulate and keep sample series).  ``False`` keeps it in
+        no-op mode.  ``None`` (the default) consults ``REPRO_METRICS``.
+        Enabled or not, metrics never perturb the simulation.
     """
 
     def __init__(
@@ -102,7 +119,10 @@ class Simulator:
         start_time: float = 0.0,
         trace: typing.Any = None,
         sanitize: bool | None = None,
+        metrics: bool | None = None,
     ) -> None:
+        from repro.simkernel.metrics import MetricsRegistry
+        from repro.simkernel.spans import SpanTracker
         from repro.simkernel.tracing import Tracer  # local import: cycle guard
 
         self._now = float(start_time)
@@ -114,14 +134,25 @@ class Simulator:
         # no per-record object unless a live subscription matches, so
         # always-on tracing stays off the event hot path's flamegraph.
         self.trace = trace if trace is not None else Tracer(self)
+        self.spans = SpanTracker(self)
+        if metrics is None:
+            metrics = os.environ.get("REPRO_METRICS", "") not in ("", "0")
+        self.metrics = MetricsRegistry(self, enabled=bool(metrics))
         if sanitize is None:
             sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
         if sanitize:
             from repro.simkernel.sanitizer import DeterminismSanitizer
 
             self.sanitizer: typing.Any = DeterminismSanitizer(self)
+            # caller-supplied trace objects may predate schema validation
+            enable = getattr(self.trace, "enable_schema_validation", None)
+            if enable is not None:
+                enable()
         else:
             self.sanitizer = None
+        if _observers:
+            for observer in _observers:
+                observer(self)
 
     # -- clock -------------------------------------------------------------
 

@@ -38,6 +38,8 @@ import typing
 
 import numpy as np
 
+from repro.errors import SimulationError
+
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.simkernel.kernel import Simulator
 
@@ -110,6 +112,9 @@ TRACE_SCHEMA: dict[str, TraceKindSpec] = {
     # cluster-level live migration
     "migration.start": _spec("domain", "source", "destination"),
     "migration.done": _spec("domain", "source", "destination"),
+    # causal spans (written only by repro.simkernel.spans; SL008 enforces)
+    "span.begin": _spec("span", "parent", "name", "actor", "detail"),
+    "span.end": _spec("span"),
     # workloads and monitoring
     "tcp.session.closed": _spec("session", "outcome", "service"),
     "probe.up": _spec("prober", "downtime"),
@@ -338,10 +343,12 @@ class Tracer:
         "_buckets",
         "_scan_all",
         "_nsubs",
+        "_schema",
     )
 
     def __init__(self, sim: "Simulator") -> None:
         self._sim = sim
+        self._schema: dict[str, TraceKindSpec] | None = None
         self._sequence = 0
         self._seq_base = 0
         self._kind_ids: dict[str, int] = {}
@@ -379,6 +386,8 @@ class Tracer:
         Unlike the pre-columnar engine this returns ``None``; use
         :meth:`last` to inspect what was just recorded.
         """
+        if self._schema is not None:
+            self._check_schema(kind, fields)
         self._sequence = seq = self._sequence + 1
         kid = self._kind_ids.get(kind)
         if kid is None:
@@ -404,6 +413,38 @@ class Tracer:
                     callback(rec)
         if len(self._kids) >= CHUNK_RECORDS:
             self._seal()
+
+    def enable_schema_validation(self) -> None:
+        """Check every future record's payload against :data:`TRACE_SCHEMA`.
+
+        Turned on by the simulator when the determinism sanitizer is
+        attached — the runtime complement of simlint rule SL006 for call
+        sites the static check cannot see (``**kwargs`` expansion,
+        computed kinds).  Off by default so the unvalidated hot path
+        costs a single ``is not None`` test.
+        """
+        self._schema = TRACE_SCHEMA
+
+    def _check_schema(self, kind: str, fields: dict[str, typing.Any]) -> None:
+        """Declared kinds must carry required ⊆ fields ⊆ allowed.
+
+        Undeclared kinds pass — ad-hoc kinds are legitimate in tests and
+        exploratory scripts; SL006 already bars them from ``src/``.
+        """
+        spec = self._schema.get(kind)  # type: ignore[union-attr]
+        if spec is None:
+            return
+        keys = fields.keys()
+        if not spec.required <= keys:
+            missing = sorted(spec.required - keys)
+            raise SimulationError(
+                f"trace record {kind!r} is missing required fields {missing}"
+            )
+        if not keys <= spec.allowed:
+            extra = sorted(keys - spec.allowed)
+            raise SimulationError(
+                f"trace record {kind!r} carries undeclared fields {extra}"
+            )
 
     def _intern(self, kind: str) -> int:
         kid = self._kind_ids[kind] = len(self._kind_names)

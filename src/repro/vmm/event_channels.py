@@ -14,6 +14,10 @@ import itertools
 import typing
 
 from repro.errors import VMMError
+from repro.simkernel.metrics import NULL
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.metrics import MetricsRegistry
 
 
 @dataclasses.dataclass
@@ -29,12 +33,23 @@ class EventChannel:
 
 
 class EventChannelTable:
-    """All channels managed by one hypervisor instance."""
+    """All channels managed by one hypervisor instance.
 
-    def __init__(self) -> None:
+    ``metrics`` (the owning simulator's registry) backs the
+    ``vmm.event_channel_sends`` counter; the table is constructed by the
+    hypervisor, which passes its ``sim.metrics``.  Standalone tables
+    (tests) default to the no-op instrument.
+    """
+
+    def __init__(self, metrics: "MetricsRegistry | None" = None) -> None:
         self._channels: dict[int, EventChannel] = {}
         self._ports = itertools.count(1)
         self.notifications_sent = 0
+        self._metric_sends = (
+            metrics.counter("vmm.event_channel_sends")
+            if metrics is not None
+            else NULL
+        )
 
     def bind(self, owner: str, peer: str, purpose: str) -> EventChannel:
         """Allocate and bind a new channel between two domains."""
@@ -54,6 +69,7 @@ class EventChannelTable:
         channel = self.lookup(port)
         channel.pending += 1
         self.notifications_sent += 1
+        self._metric_sends.inc()
 
     def consume(self, port: int) -> int:
         """Drain pending notifications; returns how many there were."""

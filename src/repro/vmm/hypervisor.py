@@ -77,7 +77,7 @@ class Hypervisor:
         self.allocator = FrameAllocator(machine.memory)
         self.heap = VmmHeap(profile.vmm.heap_bytes)
         self.domains: dict[str, Domain] = {}
-        self.event_channels = EventChannelTable()
+        self.event_channels = EventChannelTable(metrics=self.sim.metrics)
         self.grant_table = GrantTable()
         self.scheduler = CreditScheduler(machine.cpu)
         self.xenstore: Xenstore | None = None
@@ -194,7 +194,7 @@ class Hypervisor:
             privileged=True,
         )
         self._install_domain_memory(dom0)
-        self.xenstore = Xenstore(faults=self.faults)
+        self.xenstore = Xenstore(faults=self.faults, metrics=self.sim.metrics)
         self.xenstore.register_domain(dom0.domid, dom0.name, dom0.memory_bytes)
         self.domains[dom0.name] = dom0
         self._domain_list_cache = None
@@ -310,6 +310,7 @@ class Hypervisor:
             self._record_error_path()
             raise HypercallError(f"unknown hypercall {name!r}")
         self.hypercall_counts[name] = self.hypercall_counts.get(name, 0) + 1
+        self.sim.metrics.counter("vmm.hypercalls", type=name).inc()
         return handler(caller, **kwargs)
 
     def _hc_event_channel_notify(self, caller: Domain, port: int = 0) -> None:
@@ -347,35 +348,43 @@ class Hypervisor:
         plain original-Xen path.
         """
         domain = self.domain(name)
-        domain.require_state(DomainState.RUNNING)
-        domain.transition(DomainState.SUSPENDING)
-        self._trace("vmm.save.start", domain=name)
-        if domain.guest is not None:
-            yield from domain.guest.run_suspend_handler()
-        tokens = self.collect_domain_tokens(domain)
-        if variant is None:
-            yield self.machine.disk.write(f"save:{name}", domain.memory_bytes)
-        else:
-            if variant.compression_cpu_s_per_gib:
-                yield self.machine.cpu.execute(
-                    variant.codec_cpu_s(domain.memory_bytes)
+        spans = self.sim.spans
+        # concurrent saves get their own actor tracks; causally children
+        # of the host's enclosing reboot span when one is open.
+        with spans.span(
+            "vmm.save", actor=name, parent=spans.current(self.machine.name)
+        ):
+            domain.require_state(DomainState.RUNNING)
+            domain.transition(DomainState.SUSPENDING)
+            self._trace("vmm.save.start", domain=name)
+            if domain.guest is not None:
+                yield from domain.guest.run_suspend_handler()
+            tokens = self.collect_domain_tokens(domain)
+            if variant is None:
+                yield self.machine.disk.write(f"save:{name}", domain.memory_bytes)
+            else:
+                if variant.compression_cpu_s_per_gib:
+                    yield self.machine.cpu.execute(
+                        variant.codec_cpu_s(domain.memory_bytes)
+                    )
+                medium = (
+                    self.machine.ramdisk if variant.medium == "ramdisk"
+                    else self.machine.disk
                 )
-            medium = (
-                self.machine.ramdisk if variant.medium == "ramdisk"
-                else self.machine.disk
-            )
-            yield medium.write(f"save:{name}", variant.save_bytes(domain.memory_bytes))
-        self.machine.disk_store[f"saved:{name}"] = {
-            "configuration": domain.configuration(),
-            "execution_context": dict(domain.execution_context),
-            "event_channels": self.event_channels.snapshot_domain(name),
-            "tokens_by_pfn": tokens,
-            "guest": domain.guest,
-            "variant": variant,
-        }
-        domain.transition(DomainState.SUSPENDED)
-        self._trace("vmm.save.done", domain=name)
-        self.destroy_domain(name, scrub=False)
+                yield medium.write(
+                    f"save:{name}", variant.save_bytes(domain.memory_bytes)
+                )
+            self.machine.disk_store[f"saved:{name}"] = {
+                "configuration": domain.configuration(),
+                "execution_context": dict(domain.execution_context),
+                "event_channels": self.event_channels.snapshot_domain(name),
+                "tokens_by_pfn": tokens,
+                "guest": domain.guest,
+                "variant": variant,
+            }
+            domain.transition(DomainState.SUSPENDED)
+            self._trace("vmm.save.done", domain=name)
+            self.destroy_domain(name, scrub=False)
 
     def restore_domain_from_disk(self, name: str) -> typing.Generator:
         """``xm restore``: read the image back and rebuild the domain.
@@ -390,42 +399,48 @@ class Hypervisor:
             raise DomainError(f"no saved image for domain {name!r} on disk")
         config = record["configuration"]
         variant = record.get("variant")
-        with self.toolstack.request() as grant:
-            yield grant
-            yield self.sim.timeout(
-                self._duration("toolstack.restore", self.profile.vmm.create_domain_s)
-            )
-            domain = Domain(
-                next(self._domids),
-                name,
-                config["memory_bytes"],
-                vcpus=config["vcpus"],
-            )
-            self._install_domain_memory(domain)
-            self._register_domain(domain, bind_channels=False)
-        if variant is None:
-            yield self.machine.disk.read(f"restore:{name}", domain.memory_bytes)
-        else:
-            medium = (
-                self.machine.ramdisk if variant.medium == "ramdisk"
-                else self.machine.disk
-            )
-            yield medium.read(
-                f"restore:{name}", variant.restore_bytes(domain.memory_bytes)
-            )
-            if variant.compression_cpu_s_per_gib:
-                yield self.machine.cpu.execute(
-                    variant.codec_cpu_s(domain.memory_bytes)
+        spans = self.sim.spans
+        with spans.span(
+            "vmm.restore", actor=name, parent=spans.current(self.machine.name)
+        ):
+            with self.toolstack.request() as grant:
+                yield grant
+                yield self.sim.timeout(
+                    self._duration(
+                        "toolstack.restore", self.profile.vmm.create_domain_s
+                    )
                 )
-        self.write_domain_tokens(domain, record["tokens_by_pfn"])
-        domain.execution_context = dict(record["execution_context"])
-        self.event_channels.restore_domain(record["event_channels"])
-        domain.guest = record["guest"]
-        domain.transition(DomainState.RUNNING)
-        if domain.guest is not None:
-            domain.guest.rebind(self, domain)
-            yield from domain.guest.run_resume_handler()
-        self._trace("vmm.restore.done", domain=name)
+                domain = Domain(
+                    next(self._domids),
+                    name,
+                    config["memory_bytes"],
+                    vcpus=config["vcpus"],
+                )
+                self._install_domain_memory(domain)
+                self._register_domain(domain, bind_channels=False)
+            if variant is None:
+                yield self.machine.disk.read(f"restore:{name}", domain.memory_bytes)
+            else:
+                medium = (
+                    self.machine.ramdisk if variant.medium == "ramdisk"
+                    else self.machine.disk
+                )
+                yield medium.read(
+                    f"restore:{name}", variant.restore_bytes(domain.memory_bytes)
+                )
+                if variant.compression_cpu_s_per_gib:
+                    yield self.machine.cpu.execute(
+                        variant.codec_cpu_s(domain.memory_bytes)
+                    )
+            self.write_domain_tokens(domain, record["tokens_by_pfn"])
+            domain.execution_context = dict(record["execution_context"])
+            self.event_channels.restore_domain(record["event_channels"])
+            domain.guest = record["guest"]
+            domain.transition(DomainState.RUNNING)
+            if domain.guest is not None:
+                domain.guest.rebind(self, domain)
+                yield from domain.guest.run_resume_handler()
+            self._trace("vmm.restore.done", domain=name)
         return domain
 
     def collect_domain_tokens(self, domain: Domain) -> dict[int, typing.Any]:

@@ -22,18 +22,28 @@ import typing
 
 from repro.aging.faults import AgingFaults
 from repro.errors import XenstoreError
+from repro.simkernel.metrics import NULL
 from repro.units import MiB
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.metrics import MetricsRegistry
 
 _ENTRY_OVERHEAD_BYTES = 64
 
 
 class Xenstore:
-    """An in-memory hierarchical key-value store with leak accounting."""
+    """An in-memory hierarchical key-value store with leak accounting.
+
+    ``metrics`` (the owning simulator's registry, passed by the
+    hypervisor) backs the ``vmm.xenstore_*_bytes`` gauges sampled per
+    transaction — the observable trajectory of the changeset-8640 leak.
+    """
 
     def __init__(
         self,
         budget_bytes: int = 4 * MiB,
         faults: AgingFaults | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         if budget_bytes <= 0:
             raise XenstoreError(f"budget must be > 0, got {budget_bytes}")
@@ -44,6 +54,14 @@ class Xenstore:
         self._leaked_bytes = 0
         self.transactions = 0
         self.watch_events_fired = 0
+        self._metric_used = (
+            metrics.gauge("vmm.xenstore_used_bytes") if metrics is not None else NULL
+        )
+        self._metric_leaked = (
+            metrics.gauge("vmm.xenstore_leaked_bytes")
+            if metrics is not None
+            else NULL
+        )
 
     # -- memory accounting ----------------------------------------------------------
 
@@ -72,6 +90,8 @@ class Xenstore:
             self._leaked_bytes = min(
                 self._leaked_bytes + leak, self.budget_bytes
             )
+            self._metric_leaked.set(self._leaked_bytes)
+        self._metric_used.set(self.used_bytes)
         if self.exhausted:
             raise XenstoreError(
                 f"xenstored out of memory ({self.used_bytes}/{self.budget_bytes} B,"

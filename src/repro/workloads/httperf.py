@@ -92,6 +92,10 @@ class Httperf:
         self._latency: list[float] = []
         self._view: list[Completion] = []
         self.failures = 0
+        self._metric_latency = sim.metrics.histogram(
+            "httperf.request_latency", client=name
+        )
+        self._metric_errors = sim.metrics.counter("httperf.errors", client=name)
 
     # -- control ----------------------------------------------------------------
 
@@ -151,6 +155,7 @@ class Httperf:
                     nbytes = yield from lookup().handle_request(path=path)
                 except (ServiceError, ReproError):
                     self.failures += 1
+                    self._metric_errors.inc()
                     yield sim.timeout(self.retry_interval_s)
                     continue
                 now = sim._now
@@ -158,6 +163,7 @@ class Httperf:
                 pappend(path)
                 nappend(nbytes)
                 lappend(now - issued)
+                self._metric_latency.observe(now - issued)
                 break
 
     # -- measurement -----------------------------------------------------------------

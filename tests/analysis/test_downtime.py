@@ -14,7 +14,12 @@ from repro.simkernel import Simulator
 
 def record(sim, kind, t, domain, service="svc", reason=""):
     sim.run(until=max(sim.now, t))
-    sim.trace.record(kind, domain=domain, service=service, reason=reason)
+    # Full TRACE_SCHEMA payload: the sanitizer-mode runtime validation
+    # (REPRO_SANITIZE=1) checks declared kinds even in tests.
+    sim.trace.record(
+        kind, domain=domain, service=service, service_kind="generic",
+        reason=reason,
+    )
 
 
 class TestExtraction:

@@ -171,6 +171,98 @@ class TestScenarioBypassRule:
         )
 
 
+class TestObservabilityNamingRule:
+    """SL008: closed span taxonomy, declared metric kinds, no hand rolls."""
+
+    def test_registered_span_name_is_clean(self):
+        assert not _lint_snippet(
+            """
+            def boot(sim, host):
+                with sim.spans.span("reboot", actor=host, detail="warm"):
+                    pass
+            """
+        )
+
+    def test_unregistered_span_name_is_flagged(self):
+        (finding,) = _lint_snippet(
+            """
+            def boot(sim, host):
+                with sim.spans.span("reboot.sneaky", actor=host):
+                    pass
+            """
+        )
+        assert finding.rule == "SL008"
+        assert "reboot.sneaky" in finding.message
+
+    def test_dynamic_span_name_is_not_checked(self):
+        assert not _lint_snippet(
+            """
+            def boot(sim, name, host):
+                with sim.spans.span(name, actor=host):
+                    pass
+            """
+        )
+
+    def test_non_span_receiver_is_ignored(self):
+        # re.Match.span() and friends must not trip the rule.
+        assert not _lint_snippet(
+            """
+            def extent(match):
+                return match.span("somegroup")
+            """
+        )
+
+    def test_registered_metric_with_matching_kind_is_clean(self):
+        assert not _lint_snippet(
+            """
+            def wire(sim):
+                return sim.metrics.counter("nic.tx_bytes", nic="eth0")
+            """
+        )
+
+    def test_unregistered_metric_name_is_flagged(self):
+        (finding,) = _lint_snippet(
+            """
+            def wire(sim):
+                return sim.metrics.counter("nic.rx_bytes", nic="eth0")
+            """
+        )
+        assert finding.rule == "SL008"
+        assert "nic.rx_bytes" in finding.message
+
+    def test_metric_kind_mismatch_is_flagged(self):
+        (finding,) = _lint_snippet(
+            """
+            def wire(sim):
+                return sim.metrics.gauge("disk.busy_seconds", disk="sda")
+            """
+        )
+        assert finding.rule == "SL008"
+        assert "registered as a counter" in finding.message
+
+    def test_hand_written_span_record_is_flagged(self):
+        (finding,) = _lint_snippet(
+            """
+            def fake_span(sim):
+                sim.trace.record(
+                    "span.begin", span=1, parent=0, name="reboot",
+                    actor="h0", detail="",
+                )
+            """
+        )
+        assert finding.rule == "SL008"
+        assert "sim.spans.span" in finding.message
+
+    def test_span_records_allowed_in_the_tracker_module(self):
+        assert not _lint_snippet(
+            """
+            def _end(self, span):
+                self._sim.trace.record("span.end", span=span.id)
+            """,
+            path="src/repro/simkernel/spans.py",
+        )
+
+
 class TestSuppressions:
     def test_line_skip_suppresses_and_counts(self):
         findings, suppressed = lint_source(
@@ -220,7 +312,7 @@ class TestCli:
     def test_findings_exit_one_with_text_report(self, capsys):
         assert main([_FIXTURE]) == 1
         out = capsys.readouterr().out
-        assert "SL001" in out and "6 finding(s)" in out
+        assert "SL001" in out and "7 finding(s)" in out
 
     def test_json_format_is_machine_readable(self, capsys):
         assert main(["--format=json", _FIXTURE]) == 1

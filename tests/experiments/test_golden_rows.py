@@ -54,6 +54,16 @@ def test_serial_rows_match_golden(experiment_id):
     assert _rows(run_experiment(experiment_id)) == GOLDEN[experiment_id]
 
 
+# Observability must be a pure observer: with metric collection switched
+# on (spans are always recorded), every row stays bit-identical.  Quick
+# experiments only — the serial golden match above covers the rest, and
+# instruments never schedule, draw randomness, or mutate component state.
+@pytest.mark.parametrize("experiment_id", ["FIG2", "FIG4", "FIG6", "SEC53"])
+def test_instrumented_rows_match_golden(experiment_id, monkeypatch):
+    monkeypatch.setenv("REPRO_METRICS", "1")
+    assert _rows(run_experiment(experiment_id)) == GOLDEN[experiment_id]
+
+
 # The quick decomposed sweeps re-run through the pool and the cache; the
 # slow ones (FIG7/FIG9) already pin both paths via their serial golden
 # match plus test_parallel.py's serial==parallel==cached contract.

@@ -1,0 +1,165 @@
+"""Unit tests for the metrics registry (instruments, no-op path, snapshot)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkernel import Simulator
+from repro.simkernel.metrics import (
+    NULL,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_S,
+    METRIC_SCHEMA,
+)
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(metrics=True)
+
+
+class TestDisabledRegistry:
+    def test_disabled_is_the_default(self):
+        assert Simulator().metrics.enabled is False
+
+    def test_disabled_factories_return_the_shared_null(self):
+        metrics = Simulator().metrics
+        assert metrics.counter("nic.tx_bytes", nic="eth0") is NULL
+        assert metrics.gauge("disk.queue_depth", disk="sda") is NULL
+        assert metrics.histogram("httperf.request_latency") is NULL
+
+    def test_null_accepts_all_update_calls(self):
+        NULL.inc()
+        NULL.inc(5.0)
+        NULL.set(3.0)
+        NULL.observe(0.25)
+
+    def test_disabled_skips_name_validation(self):
+        # The fast path must not pay a schema lookup; unregistered names
+        # only fail once a registry is actually recording.
+        assert Simulator().metrics.counter("not.registered") is NULL
+
+    def test_env_var_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_METRICS", "1")
+        assert Simulator().metrics.enabled is True
+        monkeypatch.setenv("REPRO_METRICS", "0")
+        assert Simulator().metrics.enabled is False
+
+
+class TestRegistry:
+    def test_unregistered_name_is_rejected(self, sim):
+        with pytest.raises(SimulationError, match="METRIC_SCHEMA"):
+            sim.metrics.counter("not.registered")
+
+    def test_kind_mismatch_is_rejected(self, sim):
+        with pytest.raises(SimulationError, match="declared a counter"):
+            sim.metrics.gauge("disk.busy_seconds", disk="sda")
+
+    def test_same_name_and_labels_return_the_same_instrument(self, sim):
+        first = sim.metrics.counter("vmm.hypercalls", type="sched_op")
+        again = sim.metrics.counter("vmm.hypercalls", type="sched_op")
+        other = sim.metrics.counter("vmm.hypercalls", type="mmu_update")
+        assert first is again
+        assert first is not other
+
+    def test_instruments_are_sorted_for_determinism(self, sim):
+        sim.metrics.counter("vmm.hypercalls", type="b")
+        sim.metrics.counter("nic.tx_bytes", nic="eth0")
+        sim.metrics.counter("vmm.hypercalls", type="a")
+        names = [(i.name, tuple(sorted(i.labels.items())))
+                 for i in sim.metrics.instruments()]
+        assert names == sorted(names)
+
+    def test_every_schema_entry_has_help_and_valid_kind(self):
+        for name, spec in METRIC_SCHEMA.items():
+            assert spec.kind in ("counter", "gauge", "histogram"), name
+            assert spec.help, name
+            if spec.kind == "histogram":
+                assert spec.buckets == tuple(sorted(spec.buckets)), name
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_samples(self, sim):
+        counter = sim.metrics.counter("nic.tx_bytes", nic="eth0")
+        assert isinstance(counter, Counter)
+        sim.run(until=1.0)
+        counter.inc(100)
+        sim.run(until=3.0)
+        counter.inc(50)
+        assert counter.value == 150
+        assert counter.series_times == [1.0, 3.0]
+        assert counter.series_values == [100, 150]
+
+    def test_counter_rejects_decrements(self, sim):
+        with pytest.raises(SimulationError, match="decremented"):
+            sim.metrics.counter("nic.tx_bytes", nic="eth0").inc(-1)
+
+    def test_gauge_is_last_write_wins(self, sim):
+        gauge = sim.metrics.gauge("disk.queue_depth", disk="sda")
+        assert isinstance(gauge, Gauge)
+        gauge.set(4)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.series_values == [4, 2]
+
+    def test_histogram_buckets_are_cumulative_with_inf_last(self, sim):
+        histogram = sim.metrics.histogram("httperf.request_latency")
+        assert isinstance(histogram, Histogram)
+        histogram.observe(0.0005)  # below the first bound
+        histogram.observe(0.003)
+        histogram.observe(0.003)
+        histogram.observe(60.0)  # beyond the last bound: +Inf only
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(60.0065)
+        buckets = histogram.cumulative_buckets()
+        assert buckets[0] == (0.001, 1)
+        assert dict(buckets)[0.005] == 3
+        assert buckets[-1] == (float("inf"), 4)
+        assert len(buckets) == len(LATENCY_BUCKETS_S) + 1
+
+    def test_cumulative_counts_never_decrease(self, sim):
+        histogram = sim.metrics.histogram("httperf.request_latency")
+        for value in (0.01, 0.2, 0.2, 5.0, 100.0):
+            histogram.observe(value)
+        counts = [n for _, n in histogram.cumulative_buckets()]
+        assert counts == sorted(counts)
+
+
+class TestSnapshot:
+    def test_snapshot_is_plain_strict_json_data(self, sim):
+        import json
+
+        sim.metrics.counter("nic.tx_bytes", nic="eth0").inc(10)
+        sim.metrics.histogram("httperf.request_latency", client="c0").observe(0.2)
+        snapshot = sim.metrics.snapshot()
+        assert snapshot["nic.tx_bytes"] == [
+            {"labels": {"nic": "eth0"}, "value": 10}
+        ]
+        histogram = snapshot["httperf.request_latency"][0]
+        assert histogram["count"] == 1
+        assert histogram["buckets"][-1] == ["+Inf", 1]
+        json.dumps(snapshot, allow_nan=False)  # must not raise
+
+
+class TestInstrumentedComponents:
+    def test_rejuvenation_run_populates_hardware_and_vmm_metrics(self):
+        from repro.experiments.common import build_testbed
+
+        import os
+
+        os.environ["REPRO_METRICS"] = "1"
+        try:
+            controller = build_testbed(2, services=("apache",))
+        finally:
+            del os.environ["REPRO_METRICS"]
+        controller.rejuvenate("warm")
+        snapshot = controller.sim.metrics.snapshot()
+        assert "vmm.hypercalls" in snapshot
+        assert "disk.busy_seconds" in snapshot
+        assert all(
+            entry["value"] >= 0
+            for entries in snapshot.values()
+            for entry in entries
+            if "value" in entry
+        )

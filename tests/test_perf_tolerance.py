@@ -1,0 +1,48 @@
+"""Unit tests for the perf gate's tolerance override (no measurement)."""
+
+import pytest
+
+from benchmarks.perf_report import REGRESSION_SLACK, check, default_tolerance
+
+
+class TestDefaultTolerance:
+    def test_defaults_to_the_committed_slack(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PERF_TOLERANCE", raising=False)
+        assert default_tolerance() == REGRESSION_SLACK
+
+    def test_env_override_is_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_TOLERANCE", "1.6")
+        assert default_tolerance() == 1.6
+
+    def test_garbage_env_value_is_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_TOLERANCE", "lots")
+        with pytest.raises(ValueError, match="not a number"):
+            default_tolerance()
+
+    def test_sub_unity_ratio_is_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_TOLERANCE", "0.3")
+        with pytest.raises(ValueError, match="below 1.0"):
+            default_tolerance()
+
+
+class TestCheckTolerance:
+    BASELINE = {
+        "kernel": {"events_per_s": 1000.0},
+        "experiments_s": {"FIG4": 1.0},
+    }
+
+    def test_within_default_tolerance_passes(self, capsys):
+        fresh = {"kernel": {"events_per_s": 800.0}, "experiments_s": {"FIG4": 1.2}}
+        assert check(fresh, self.BASELINE) == 0
+
+    def test_beyond_default_tolerance_fails_both_directions(self, capsys):
+        fresh = {"kernel": {"events_per_s": 500.0}, "experiments_s": {"FIG4": 2.0}}
+        assert check(fresh, self.BASELINE) == 2
+
+    def test_wider_tolerance_waves_the_same_numbers_through(self, capsys):
+        fresh = {"kernel": {"events_per_s": 500.0}, "experiments_s": {"FIG4": 2.0}}
+        assert check(fresh, self.BASELINE, tolerance=2.5) == 0
+
+    def test_unmeasured_baseline_entries_are_skipped(self, capsys):
+        fresh = {"kernel": {}, "experiments_s": {}}
+        assert check(fresh, self.BASELINE, tolerance=1.01) == 0
