@@ -1,16 +1,17 @@
 # Developer entry points.  `make ci` is what the CI job runs: simlint, the
 # tier-1 test suite (once plain, once under the runtime determinism
-# sanitizer), a scenario-spec schema check + dry-build, the observability
-# self-check (spans/metrics/exporters cross-verified), plus a quick-mode
-# perf smoke that fails on regressions beyond the tolerance against the
-# committed BENCH_PERF.json baseline.
+# sanitizer, once on the batched scheduler backend), a scenario-spec
+# schema check + dry-build, the observability self-check (spans/metrics/
+# exporters cross-verified), plus a quick-mode perf smoke that fails on
+# regressions beyond the tolerance against the committed BENCH_PERF.json
+# baseline.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test test-sanitize scenarios obs-check bench perf-check perf-write profile ci
+.PHONY: lint test test-sanitize test-backend scenarios obs-check bench perf-check perf-write profile ci
 
-# Determinism & simulation-safety static analysis (rules SL001-SL008).
+# Determinism & simulation-safety static analysis (rules SL001-SL009).
 lint:
 	$(PYTHON) -m repro.devtools.simlint src/
 
@@ -21,6 +22,11 @@ test:
 # every Simulator; results must be identical (the sanitizer never perturbs).
 test-sanitize:
 	REPRO_SANITIZE=1 $(PYTHON) -m pytest -x -q
+
+# The same tier-1 suite on the optimized batched scheduler backend;
+# results must be identical (backend choice never changes simulation).
+test-backend:
+	REPRO_KERNEL_BACKEND=batched $(PYTHON) -m pytest -x -q
 
 # Schema-check every committed spec file, then dry-build each of them
 # plus every registered scenario, so spec/schema drift fails CI fast.
@@ -40,12 +46,18 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 # Kernel micro-benchmarks + sub-second experiments, guarded against the
-# committed baseline.  Seconds, not a full sweep.  The gate compares
-# wall clocks, so it is hardware-relative: on a machine slower than the
-# baseline's, widen the gate for one run with
+# committed baseline.  Seconds, not a full sweep.  Kernel throughputs
+# are recorded per scheduler backend (BENCH_PERF.json schema 3,
+# kernel.backends matrix); most gates compare against the committed
+# baseline and are therefore hardware-relative: on a machine slower
+# than the baseline's, widen the gate for one run with
 # `REPRO_PERF_TOLERANCE=1.6 make perf-check` (or --tolerance); if the
 # drift is real and permanent, rebaseline instead — run `make perf-write`
-# on quiet hardware and commit the rewritten BENCH_PERF.json.
+# on quiet hardware and commit the rewritten BENCH_PERF.json.  The
+# batched-vs-reference events/sec speedup gate is the exception: it is
+# same-run relative (both backends measured seconds apart on the same
+# machine), so no tolerance applies and rebaselining cannot paper over
+# a batched-backend slowdown.
 perf-check:
 	$(PYTHON) benchmarks/perf_report.py --check --mode quick
 
@@ -62,4 +74,4 @@ profile:
 	pr = cProfile.Profile(); pr.enable(); run_experiment('FIG9'); \
 	pr.disable(); pstats.Stats(pr).sort_stats('cumulative').print_stats(40)"
 
-ci: lint test test-sanitize scenarios obs-check perf-check
+ci: lint test test-sanitize test-backend scenarios obs-check perf-check

@@ -9,13 +9,17 @@ to it shows up in review) and checks fresh measurements against it::
 ``--check`` fails (exit 1) when any guarded number regresses by more
 than the tolerance against the committed baseline — wall clocks slower,
 or kernel throughputs lower, by more than the allowed ratio (default
-1.30, i.e. 30 %).  Override the ratio with ``--tolerance 1.5`` or the
+1.30, i.e. 30 %).  Kernel throughputs are guarded per scheduler backend
+(the ``kernel.backends`` matrix), and one gate is *relative within the
+fresh run* and therefore hardware-independent and tolerance-free: the
+batched backend must beat the reference on events/sec by at least
+``BATCHED_MIN_SPEEDUP`` in the same measurement.  Override the
+regression ratio with ``--tolerance 1.5`` or the
 ``REPRO_PERF_TOLERANCE`` environment variable when checking on hardware
 slower than the baseline machine; rewrite the baseline itself with
 ``make perf-write`` on quiet hardware.  ``--mode quick`` restricts the
 measurement to the kernel micro-benchmarks plus a handful of sub-second
-experiments so CI pays seconds, not a full sweep; ``--mode full`` (the
-default) also times the whole serial/parallel/cached sweep.  ``--smoke``
+experiments so CI pays seconds, not a full sweep; ``--smoke``
 is a legacy alias for ``--mode quick``.
 """
 
@@ -47,6 +51,11 @@ REGRESSION_SLACK = 1.30
 """Default tolerance: a guarded number may move 30 % in the bad direction
 before --check fails.  Overridable per run (--tolerance /
 REPRO_PERF_TOLERANCE) because wall clocks are hardware-relative."""
+
+BATCHED_MIN_SPEEDUP = 1.5
+"""The batched backend must beat the reference on events/sec by at least
+this factor *within one measurement run*.  Same-run relative, so no
+hardware tolerance applies — both backends saw the same machine."""
 
 
 def default_tolerance() -> float:
@@ -127,9 +136,9 @@ def measure(smoke: bool, jobs: int) -> dict[str, typing.Any]:
     from repro.experiments import experiment_ids
 
     report: dict[str, typing.Any] = {
-        "schema": 2,
+        "schema": 3,
         "mode": "quick" if smoke else "full",
-        "kernel": {k: round(v) for k, v in measure_kernel().items()},
+        "kernel": measure_kernel(),
         "experiments_s": measure_experiments(
             SMOKE_IDS if smoke else experiment_ids()
         ),
@@ -160,10 +169,42 @@ def check(
         if bad:
             failures += 1
 
+    fresh_kernel = fresh["kernel"]
     for metric, base in baseline.get("kernel", {}).items():
-        now = fresh["kernel"].get(metric)
+        if metric == "backends":
+            # Schema >= 3: per-backend throughput matrix.
+            for name, cells in base.items():
+                fresh_cells = fresh_kernel.get("backends", {}).get(name, {})
+                for cell, cell_base in cells.items():
+                    now = fresh_cells.get(cell)
+                    if now is not None:
+                        guard(
+                            f"kernel [{name}] {cell}",
+                            cell_base,
+                            now,
+                            higher_is_better=True,
+                        )
+            continue
+        if metric == "batched_speedup":
+            continue  # gated below against the fresh run, not the baseline
+        now = fresh_kernel.get(metric)
         if now is not None:
             guard(f"kernel {metric}", base, now, higher_is_better=True)
+
+    # Same-run relative gate, hardware-independent: the batched backend
+    # must earn its keep against the reference measured seconds apart on
+    # the same machine.  No tolerance — both sides saw identical noise.
+    speedup = fresh_kernel.get("batched_speedup")
+    if speedup is not None:
+        bad = speedup < BATCHED_MIN_SPEEDUP
+        mark = "FAIL" if bad else "ok"
+        print(
+            f"  [{mark}] kernel batched_speedup (same-run): "
+            f"required >= {BATCHED_MIN_SPEEDUP}, now {speedup:g}"
+        )
+        if bad:
+            failures += 1
+
     for key, base in baseline.get("experiments_s", {}).items():
         now = fresh["experiments_s"].get(key)
         if now is not None:

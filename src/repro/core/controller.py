@@ -41,8 +41,9 @@ class RootHammer:
         seed: int = 0,
         hypervisor_cls: type[Hypervisor] = RootHammerHypervisor,
         host_name: str = "server",
+        backend: typing.Any = None,
     ) -> None:
-        self.sim = Simulator()
+        self.sim = Simulator(backend=backend)
         self.streams = RandomStreams(seed)
         self.host = Host(
             self.sim,

@@ -16,8 +16,9 @@ SL002   randomness outside :mod:`repro.simkernel.rng` (module-level
         ``random`` functions, ``numpy.random``, unseeded generators)
 SL003   iteration over a ``set`` or an ``id()``-keyed dict
         (nondeterministic order under hash randomization)
-SL004   direct ``heapq`` operation on ``Simulator._heap`` outside
-        ``simkernel/kernel.py``/``events.py`` (bypasses the sequence
+SL004   direct ``heapq``/list operation on scheduler-backend storage
+        (``_heap``/``_run``/``_far``) outside ``simkernel/kernel.py``,
+        ``events.py`` or ``backends.py`` (bypasses the sequence
         tiebreaker that pins same-instant ordering)
 SL005   bare ``assert`` in library code (vanishes under ``python -O``)
 SL006   ``record()`` payload keys that do not match the typed columns
@@ -31,6 +32,10 @@ SL008   observability naming: span names outside
         :data:`repro.simkernel.metrics.METRIC_SCHEMA`, or
         hand-written ``span.*`` trace records outside
         ``simkernel/spans.py`` (unbalanced begin/end)
+SL009   scheduler-backend internals (private attributes reached via a
+        ``backend``/``_backend`` receiver) accessed outside
+        ``repro/simkernel/`` — layout differs per backend; use the
+        :class:`~repro.simkernel.backends.SchedulerBackend` interface
 ======  ==============================================================
 
 Run it as ``python -m repro.devtools.simlint src/`` (``--format=json``

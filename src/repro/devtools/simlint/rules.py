@@ -1,4 +1,4 @@
-"""The simlint rule engine: one AST walk, eight codebase-specific rules.
+"""The simlint rule engine: one AST walk, nine codebase-specific rules.
 
 Every rule is deliberately *syntactic and local* — no type inference, no
 cross-module resolution — so findings are cheap to verify by eye and the
@@ -19,11 +19,12 @@ RULES: dict[str, str] = {
     "SL001": "wall-clock call in simulation code",
     "SL002": "randomness outside simkernel.rng",
     "SL003": "iteration over a set or id()-keyed dict",
-    "SL004": "direct heapq operation on Simulator._heap",
+    "SL004": "direct heapq/list operation on scheduler-backend storage",
     "SL005": "bare assert in library code",
     "SL006": "trace record() payload does not match TRACE_SCHEMA",
     "SL007": "ad-hoc stack construction in an experiment module",
     "SL008": "unregistered span/metric name, or hand-written span record",
+    "SL009": "scheduler-backend internals accessed outside repro/simkernel",
 }
 
 # SL001 — anything that reads the host clock.  Simulated components must
@@ -84,6 +85,15 @@ _SET_ANNOTATIONS = ("set", "frozenset", "typing.Set", "typing.FrozenSet", "Set",
 # be declared a counter).
 _METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram"})
 
+# SL004 — the scheduler backends' entry stores.  Pushing into (or popping
+# from) any of these outside the owning modules bypasses the sequence
+# tiebreaker that backend-equivalence rests on.
+_BACKEND_STRUCTS = frozenset({"_heap", "_run", "_far"})
+
+# SL009 — receivers that denote a scheduler backend: ``sim.backend``,
+# ``sim._backend``, or a local so named.
+_BACKEND_RECEIVERS = frozenset({"backend", "_backend"})
+
 # SL007 — stack entry points experiment modules must not call directly.
 # Experiments build their testbeds through the declarative scenario layer
 # (repro.scenario.ScenarioBuilder / common.build_testbed), which is the
@@ -96,11 +106,12 @@ class ModulePolicy:
     """Which rules apply to one file, derived from its path."""
 
     is_rng_module: bool = False  # simkernel/rng.py: SL002 exempt
-    is_heap_owner: bool = False  # simkernel/kernel.py, events.py: SL004 exempt
+    is_heap_owner: bool = False  # simkernel kernel/events/backends: SL004 exempt
     is_driver: bool = False  # CLI/sweep drivers: monotonic clocks allowed
     is_devtools: bool = False  # not simulation code: SL001-SL003 exempt
     is_experiment: bool = False  # repro/experiments/: SL007 applies
     is_span_owner: bool = False  # simkernel/spans.py: may write span.* records
+    is_simkernel: bool = False  # repro/simkernel/: SL009 exempt
 
     @classmethod
     def for_path(cls, path: str) -> "ModulePolicy":
@@ -108,12 +119,14 @@ class ModulePolicy:
         return cls(
             is_rng_module=norm.endswith("simkernel/rng.py"),
             is_heap_owner=norm.endswith("simkernel/kernel.py")
-            or norm.endswith("simkernel/events.py"),
+            or norm.endswith("simkernel/events.py")
+            or norm.endswith("simkernel/backends.py"),
             is_driver=norm.endswith("experiments/cli.py")
             or norm.endswith("experiments/parallel.py"),
             is_devtools="repro/devtools/" in norm,
             is_experiment="repro/experiments/" in norm,
             is_span_owner=norm.endswith("simkernel/spans.py"),
+            is_simkernel="repro/simkernel/" in norm,
         )
 
 
@@ -339,16 +352,43 @@ class RuleVisitor(ast.NodeVisitor):
             if (
                 func.attr in ("append", "insert", "extend", "pop")
                 and isinstance(func.value, ast.Attribute)
-                and func.value.attr == "_heap"
+                and func.value.attr in _BACKEND_STRUCTS
                 and not self.policy.is_heap_owner
             ):
                 self._emit(
                     "SL004",
                     node,
-                    "direct mutation of Simulator._heap bypasses the "
-                    "(priority, sequence) tiebreaker; use call_at()/"
-                    "call_in() or an Event",
+                    f"direct mutation of backend storage "
+                    f"{func.value.attr!r} bypasses the (priority, sequence) "
+                    "tiebreaker; use call_at()/call_in() or an Event",
                 )
+        self.generic_visit(node)
+
+    # -- SL009: backend internals stay inside repro/simkernel --------------
+
+    @staticmethod
+    def _receiver_is_backend(value: ast.expr) -> bool:
+        """True when an attribute's receiver denotes a scheduler backend."""
+        if isinstance(value, ast.Attribute):
+            return value.attr in _BACKEND_RECEIVERS
+        if isinstance(value, ast.Name):
+            return value.id in _BACKEND_RECEIVERS
+        return False
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            not self.policy.is_simkernel
+            and node.attr.startswith("_")
+            and not node.attr.startswith("__")
+            and self._receiver_is_backend(node.value)
+        ):
+            self._emit(
+                "SL009",
+                node,
+                f"backend-private attribute {node.attr!r} accessed outside "
+                "repro/simkernel; go through the SchedulerBackend "
+                "interface (pending()/storage_size()/peek()/compact())",
+            )
         self.generic_visit(node)
 
     def _check_wall_clock(self, node: ast.Call, qual: str) -> None:
@@ -394,15 +434,15 @@ class RuleVisitor(ast.NodeVisitor):
         if qual not in ("heapq.heappush", "heapq.heappop", "heapq.heapify"):
             return
         if any(
-            isinstance(arg, ast.Attribute) and arg.attr == "_heap"
+            isinstance(arg, ast.Attribute) and arg.attr in _BACKEND_STRUCTS
             for arg in node.args
         ):
             self._emit(
                 "SL004",
                 node,
-                f"{qual.split('.')[-1]}() on Simulator._heap bypasses the "
-                "(priority, sequence) tiebreaker; use call_at()/call_in() "
-                "or an Event",
+                f"{qual.split('.')[-1]}() on scheduler-backend storage "
+                "bypasses the (priority, sequence) tiebreaker; use "
+                "call_at()/call_in() or an Event",
             )
 
     # -- SL007: ad-hoc stack construction in experiments -------------------

@@ -121,15 +121,24 @@ class ScenarioBuilder:
     ``profile`` overrides the spec's named profile with an explicit
     :class:`TimingProfile` instance (the experiment helpers use this to
     forward caller-supplied profiles without widening the spec schema).
+    ``backend`` selects the scheduler backend for the built simulator
+    (name, class, or instance — see
+    :func:`repro.simkernel.backends.resolve_backend`); ``None`` defers to
+    ``REPRO_KERNEL_BACKEND``, so whole experiment sweeps switch backends
+    via the environment without touching specs.
     """
 
     def __init__(
-        self, spec: ScenarioSpec, profile: TimingProfile | None = None
+        self,
+        spec: ScenarioSpec,
+        profile: TimingProfile | None = None,
+        backend: typing.Any = None,
     ) -> None:
         self.spec = spec
         self.profile = profile if profile is not None else resolve_profile(
             spec.profile
         )
+        self.backend = backend
 
     # -- fleet expansion ---------------------------------------------------------
 
@@ -206,6 +215,7 @@ class ScenarioBuilder:
             seed=self.spec.seed,
             faults=faults,
             host_name=host_name,
+            backend=self.backend,
         )
         return BuiltScenario(
             spec=self.spec,
@@ -227,7 +237,7 @@ class ScenarioBuilder:
                     )
                 )
                 cursor += 1
-        sim = Simulator()
+        sim = Simulator(backend=self.backend)
         cluster = Cluster(
             sim,
             size=len(layouts),

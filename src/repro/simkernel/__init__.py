@@ -3,7 +3,11 @@
 This subpackage is self-contained (no dependencies on the rest of
 ``repro`` beyond the error types) and provides:
 
-* :class:`~repro.simkernel.kernel.Simulator` — clock, event heap, run loop;
+* :class:`~repro.simkernel.kernel.Simulator` — clock, run loop, primitive
+  factories;
+* :class:`~repro.simkernel.backends.SchedulerBackend` — pluggable event
+  storage (``reference`` heap or the optimized ``batched`` backend, picked
+  via ``Simulator(backend=...)`` / ``REPRO_KERNEL_BACKEND``);
 * :class:`~repro.simkernel.events.Event`, timeouts, all-of/any-of conditions;
 * :class:`~repro.simkernel.process.Process` — generator-based activities
   with interrupts;
@@ -22,6 +26,12 @@ This subpackage is self-contained (no dependencies on the rest of
   ``REPRO_METRICS=1``, no-op otherwise).
 """
 
+from repro.simkernel.backends import (
+    BACKENDS,
+    BatchedBackend,
+    ReferenceBackend,
+    SchedulerBackend,
+)
 from repro.simkernel.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.simkernel.kernel import Simulator, TimerHandle
 from repro.simkernel.metrics import (
@@ -46,6 +56,8 @@ from repro.simkernel.tracing import TraceRecord, Tracer
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BACKENDS",
+    "BatchedBackend",
     "Counter",
     "DeterminismSanitizer",
     "DeterminismWarning",
@@ -57,9 +69,11 @@ __all__ = [
     "MetricsRegistry",
     "Process",
     "RandomStreams",
+    "ReferenceBackend",
     "Request",
     "Resource",
     "SPAN_NAMES",
+    "SchedulerBackend",
     "SanitizerReport",
     "SharedPool",
     "Simulator",

@@ -23,7 +23,6 @@ event was explicitly :meth:`Event.defuse`-d.
 
 from __future__ import annotations
 
-import heapq
 import typing
 
 from repro.errors import SimulationError
@@ -105,11 +104,11 @@ class Event:
         self._ok = True
         self._value = value
         self._state = TRIGGERED
-        # Inlined Simulator._enqueue: succeed() runs once per completed
+        # sim._schedule is the backend's bound schedule() — one call,
+        # no Simulator._enqueue hop; succeed() runs once per completed
         # unit of simulated work, everywhere.
         sim = self.sim
-        sim._sequence += 1
-        heapq.heappush(sim._heap, (sim._now, PRIORITY_NORMAL, sim._sequence, self))
+        sim._schedule(sim._now, PRIORITY_NORMAL, self)
         return self
 
     def succeed_at(self, time: float, value: typing.Any = None) -> "Event":
@@ -132,8 +131,7 @@ class Event:
         self._ok = True
         self._value = value
         self._state = TRIGGERED
-        sim._sequence += 1
-        heapq.heappush(sim._heap, (time, PRIORITY_NORMAL, sim._sequence, self))
+        sim._schedule(time, PRIORITY_NORMAL, self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -147,8 +145,7 @@ class Event:
         self._value = exception
         self._state = TRIGGERED
         sim = self.sim
-        sim._sequence += 1
-        heapq.heappush(sim._heap, (sim._now, PRIORITY_NORMAL, sim._sequence, self))
+        sim._schedule(sim._now, PRIORITY_NORMAL, self)
         return self
 
     def trigger_from(self, other: "Event") -> None:
@@ -238,12 +235,9 @@ class Timeout(Event):
         self._state = TRIGGERED
         self._defused = False
         self.delay = delay
-        # Inlined _enqueue_at; the delay check above already rules out
-        # scheduling in the past.
-        sim._sequence += 1
-        heapq.heappush(
-            sim._heap, (sim._now + delay, PRIORITY_NORMAL, sim._sequence, self)
-        )
+        # The delay check above already rules out scheduling in the past,
+        # so this skips _enqueue_at's guard.
+        sim._schedule(sim._now + delay, PRIORITY_NORMAL, self)
 
     def __repr__(self) -> str:
         label = self.name or f"Timeout({self.delay:.6g})"

@@ -44,6 +44,7 @@ class _StartTrigger:
     _ok = True
     ok = True
     value = None
+    _value = None
 
 
 _START = _StartTrigger()
@@ -150,7 +151,10 @@ class Process(Event):
                 if interrupts:
                     next_event = generator.throw(interrupts.pop(0))
                 elif event._ok:
-                    next_event = generator.send(event.value)
+                    # _value, not the .value property: the trigger is always
+                    # past PENDING here, so the property's guard is dead
+                    # weight on the hottest resume path.
+                    next_event = generator.send(event._value)
                 else:
                     event._defused = True
                     next_event = generator.throw(event._value)

@@ -293,9 +293,12 @@ class SharedPool:
         numerically complete and finishing it *now* is the only way the
         clock can make progress.
         """
-        if self._timer is not None:
-            self._timer.cancel()
-            self._timer = None
+        # The pending timer is handed to rearm_timer() below so cancel +
+        # re-arm flow through the backend's lazy-delete accounting (and
+        # handle freelist) in one call; if no job remains it is cancelled
+        # on the way out.  Deferring the cancel is order-neutral: cancels
+        # take no scheduling sequence number.
+        old_timer, self._timer = self._timer, None
         jobs = self._jobs
         capacity = self.capacity
         per_job_cap = self.per_job_cap
@@ -335,12 +338,14 @@ class SharedPool:
                     # Weights changed: recompute the nearest completion.
                     continue
             if nearest is None:
+                if old_timer is not None:
+                    old_timer.cancel()
                 return
             sim = self.sim
             now = sim._now
             deadline = now + nearest_dt
             if deadline > now:
-                self._timer = sim.call_at(deadline, self._on_timer)
+                self._timer = sim.rearm_timer(old_timer, deadline, self._on_timer)
                 return
             # No representable time advance is possible: finish it now.
             nearest.remaining = 0.0

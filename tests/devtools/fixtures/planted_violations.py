@@ -40,3 +40,7 @@ def record_boot(sim):
 def open_unregistered_span(sim, host):
     with sim.spans.span("reboot.sneaky", actor=host):  # SL008: not in SPAN_NAMES
         pass
+
+
+def poke_backend_internals(sim):
+    return sim.backend._run  # SL009: backend-private attr outside simkernel

@@ -263,6 +263,66 @@ class TestObservabilityNamingRule:
         )
 
 
+class TestBackendInternalsRule:
+    """SL009: backend layout is private to repro/simkernel."""
+
+    def test_private_attr_via_backend_property_is_flagged(self):
+        (finding,) = _lint_snippet(
+            """
+            def queue_depth(sim):
+                return len(sim.backend._heap)
+            """
+        )
+        assert finding.rule == "SL009"
+        assert "_heap" in finding.message
+
+    def test_private_attr_via_local_backend_name_is_flagged(self):
+        (finding,) = _lint_snippet(
+            """
+            def drain_stats(sim):
+                backend = sim.backend
+                return backend._idx
+            """
+        )
+        assert finding.rule == "SL009"
+
+    def test_public_backend_interface_is_clean(self):
+        assert not _lint_snippet(
+            """
+            def queue_depth(sim):
+                return sim.backend.pending() + sim.backend.storage_size()
+            """
+        )
+
+    def test_simkernel_modules_are_exempt(self):
+        assert not _lint_snippet(
+            """
+            def _run_batched(self):
+                return self._backend._run
+            """,
+            path="src/repro/simkernel/kernel.py",
+        )
+
+    def test_unrelated_private_attrs_are_clean(self):
+        # self._run() as a method, or private attrs on non-backend
+        # receivers, must not trip the rule.
+        assert not _lint_snippet(
+            """
+            def start(self, sim):
+                self._process = sim.spawn(self._run(), name=self.name)
+            """
+        )
+
+    def test_sl004_covers_run_and_far_structures(self):
+        (finding,) = _lint_snippet(
+            """
+            def sneak(sim, entry):
+                sim.backend._run.append(entry)  # simlint: skip=SL009
+            """
+        )
+        assert finding.rule == "SL004"
+
+
 class TestSuppressions:
     def test_line_skip_suppresses_and_counts(self):
         findings, suppressed = lint_source(
@@ -312,7 +372,7 @@ class TestCli:
     def test_findings_exit_one_with_text_report(self, capsys):
         assert main([_FIXTURE]) == 1
         out = capsys.readouterr().out
-        assert "SL001" in out and "7 finding(s)" in out
+        assert "SL001" in out and "8 finding(s)" in out
 
     def test_json_format_is_machine_readable(self, capsys):
         assert main(["--format=json", _FIXTURE]) == 1

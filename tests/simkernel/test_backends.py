@@ -1,0 +1,275 @@
+"""Scheduler-backend equivalence and accounting tests.
+
+The backend contract (see :mod:`repro.simkernel.backends`): backend choice
+may change wall-clock speed, never simulated results.  The differential
+fuzz here replays seeded random schedules — timers, cancels, urgent
+priorities, same-instant bursts, nested spawns, far-horizon timers — on
+the reference and batched backends and asserts identical execution order,
+final clock, and process values.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkernel import (
+    BACKENDS,
+    BatchedBackend,
+    ReferenceBackend,
+    SchedulerBackend,
+    Simulator,
+)
+
+
+class TestSelection:
+    def test_default_is_reference(self, monkeypatch):
+        # Neutralize the env so this passes in the `make test-backend`
+        # lane, which exports REPRO_KERNEL_BACKEND=batched suite-wide.
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        assert Simulator().backend.name == "reference"
+
+    def test_name_selects_backend(self):
+        assert Simulator(backend="batched").backend.name == "batched"
+        assert Simulator(backend="reference").backend.name == "reference"
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "batched")
+        assert Simulator().backend.name == "batched"
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "batched")
+        assert Simulator(backend="reference").backend.name == "reference"
+
+    def test_class_and_instance_specs(self):
+        assert Simulator(backend=BatchedBackend).backend.name == "batched"
+        inst = BatchedBackend(start_time=5.0, span=2.0)
+        assert Simulator(start_time=5.0, backend=inst).backend is inst
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SimulationError, match="unknown scheduler backend"):
+            Simulator(backend="warp-drive")
+
+    def test_registry_contents(self):
+        assert set(BACKENDS) == {"reference", "batched"}
+        for cls in BACKENDS.values():
+            assert issubclass(cls, SchedulerBackend)
+
+
+class TestCancelledAccounting:
+    """Regression: lazy-delete counters must track reality exactly."""
+
+    @pytest.fixture(params=["reference", "batched"])
+    def sim(self, request):
+        return Simulator(backend=request.param)
+
+    def test_cancel_after_fire_does_not_inflate_counter(self, sim):
+        handles = [sim.call_in(0.1 * (i + 1), lambda: None) for i in range(10)]
+        sim.run()
+        for handle in handles:
+            handle.cancel()  # fired long ago: pure no-op
+        assert sim.backend.pending() == 0
+        assert sim.backend._cancelled == 0
+
+    def test_double_cancel_counts_once(self, sim):
+        handle = sim.call_in(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.backend.pending() == 0
+        assert sim.backend._cancelled == 1
+        sim.run()
+        assert sim.backend._cancelled == 0
+
+    def test_repr_excludes_cancelled_handles(self, sim):
+        sim.call_in(1.0, lambda: None).cancel()
+        sim.call_in(2.0, lambda: None)
+        assert "pending=1" in repr(sim)
+        assert sim.backend.pending() == 1
+
+    def test_pending_and_storage_diverge_until_pop(self, sim):
+        live = sim.call_in(1.0, lambda: None)
+        sim.call_in(2.0, lambda: None).cancel()
+        assert sim.backend.pending() == 1
+        assert sim.backend.storage_size() == 2
+        sim.run()
+        assert live.cancelled is False
+        assert sim.backend.pending() == 0
+        assert sim.backend.storage_size() == 0
+
+    def test_mass_cancel_triggers_compaction(self, sim):
+        handles = [sim.call_in(1e6 + i, lambda: None) for i in range(500)]
+        for handle in handles:
+            handle.cancel()
+        # Lazy deletion must not retain all 500 dead entries.
+        assert sim.backend.storage_size() < 500
+        assert sim.backend.pending() == 0
+        sim.run()
+        assert sim.backend.storage_size() == 0
+
+    def test_compact_removes_every_dead_entry(self, sim):
+        keep = sim.call_in(5.0, lambda: None)
+        for i in range(10):
+            sim.call_in(1.0 + i, lambda: None).cancel()
+        sim.backend.compact()
+        assert sim.backend.storage_size() == 1
+        assert sim.backend.pending() == 1
+        sim.run()
+        assert not keep.cancelled
+
+    def test_peek_skips_cancelled_heads(self, sim):
+        sim.call_in(1.0, lambda: None).cancel()
+        sim.call_in(2.0, lambda: None)
+        assert sim.peek() == 2.0
+
+
+def _fuzz_workload(sim, seed, log):
+    """Drive one seeded random schedule; append markers to ``log``.
+
+    Pure simulation — all randomness comes from ``seed``, so two runs on
+    different backends see byte-identical schedules.  Mixes every
+    scheduling shape the kernel supports: zero-delay (same-instant
+    bursts), sub-horizon and far-horizon timers, cancels (before and
+    after firing), urgent interrupts, nested spawns, and events
+    triggered from timer callbacks.
+    """
+    rng = random.Random(seed)
+    handles = []
+
+    def tick(tag):
+        log.append((sim.now, tag))
+
+    def worker(wid, depth):
+        total = 0.0
+        for step in range(rng.randint(2, 6)):
+            choice = rng.random()
+            if choice < 0.35:
+                # Same-instant burst: several zero-delay timeouts queued
+                # at one (time, priority) frontier.
+                yield sim.timeout(0.0, value=step)
+                tick(("burst", wid, step))
+            elif choice < 0.6:
+                delay = rng.choice([0.25, 1.0, 7.5, 80.0, 200.0])
+                yield sim.timeout(delay, value=delay)
+                total += delay
+                tick(("slept", wid, step, delay))
+            elif choice < 0.75 and depth < 2:
+                child = sim.spawn(worker((wid, step), depth + 1))
+                yield child
+                tick(("joined", wid, step, child.value))
+            elif choice < 0.9:
+                when = sim.now + rng.choice([0.5, 3.0, 66.0])
+                handle = sim.call_at(when, lambda w=wid, s=step: tick(("timer", w, s)))
+                handles.append(handle)
+                yield sim.timeout(rng.choice([0.1, 1.0, 70.0]))
+                tick(("armed", wid, step))
+            else:
+                ev = sim.event()
+                sim.call_in(
+                    rng.choice([0.0, 0.125, 4.0]),
+                    lambda e=ev, s=step: e.succeed(s * 2),
+                )
+                value = yield ev
+                tick(("event", wid, step, value))
+            if handles and rng.random() < 0.4:
+                victim = handles.pop(rng.randrange(len(handles)))
+                victim.cancel()  # may already have fired: both are legal
+                tick(("cancelled", wid, step))
+        return total
+
+    roots = [sim.spawn(worker(i, 0)) for i in range(rng.randint(3, 6))]
+    return roots
+
+
+def _run_fuzz(seed, backend):
+    sim = Simulator(backend=backend)
+    log = []
+    roots = _fuzz_workload(sim, seed, log)
+    sim.run()
+    log.append(("final", sim.now, [p.value for p in roots]))
+    assert sim.backend.pending() == 0
+    return log
+
+
+class TestDifferentialFuzz:
+    """Identical execution on both backends for seeded random schedules."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_batched_matches_reference(self, seed):
+        assert _run_fuzz(seed, "reference") == _run_fuzz(seed, "batched")
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_tiny_horizon_span_matches_reference(self, seed):
+        """A pathological 0.5s span forces constant far-tier migration."""
+        reference = _run_fuzz(seed, "reference")
+        batched = _run_fuzz(seed, BatchedBackend(span=0.5))
+        assert reference == batched
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generic_loop_matches_fast_paths(self, seed):
+        """The sanitized/generic run loop executes the same schedule."""
+        reference = _run_fuzz(seed, "reference")
+        for backend in ("reference", "batched"):
+            sim = Simulator(backend=backend, sanitize=True)
+            log = []
+            roots = _fuzz_workload(sim, seed, log)
+            sim.run()
+            log.append(("final", sim.now, [p.value for p in roots]))
+            assert log == reference
+
+    @pytest.mark.parametrize("backend", ["reference", "batched"])
+    def test_run_until_deadline_matches(self, backend):
+        log = []
+        sim = Simulator(backend=backend)
+        _fuzz_workload(sim, 42, log)
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+        cut = list(log)
+        sim.run()
+        assert all(t <= 3.0 for t, *_ in cut if isinstance(t, float))
+        if backend == "batched":
+            assert log == _run_fuzz(42, "reference")[:-1]
+
+
+class TestBatchedInternals:
+    """White-box checks for the batched backend's tier machinery."""
+
+    def test_far_timers_land_in_far_heap(self):
+        sim = Simulator(backend="batched")
+        sim.timeout(1.0)
+        sim.timeout(500.0)
+        backend = sim.backend
+        assert len(backend._far) == 1
+        assert len(backend._run) == 1
+        sim.run()
+        assert sim.now == 500.0
+
+    def test_monotone_appends_avoid_heap(self):
+        sim = Simulator(backend="batched")
+        for i in range(10):
+            sim.timeout(float(i) / 100.0)
+        backend = sim.backend
+        assert len(backend._run) == 10
+        assert backend._heap == []
+
+    def test_out_of_order_arrival_uses_near_heap(self):
+        sim = Simulator(backend="batched")
+        sim.timeout(10.0)
+        sim.timeout(1.0)  # behind the run tail
+        backend = sim.backend
+        assert len(backend._heap) == 1
+        order = []
+        sim.call_at(1.0, lambda: order.append(1)).cancel()
+        sim.run()
+        assert sim.now == 10.0
+
+    def test_infinite_timer_deadline_migrates(self):
+        sim = Simulator(backend="batched")
+        fired = []
+        sim.call_at(float("inf"), lambda: fired.append(True))
+        sim.run()
+        assert fired == [True]
+        assert sim.now == float("inf")
+
+    def test_invalid_span_rejected(self):
+        with pytest.raises(SimulationError, match="span"):
+            BatchedBackend(span=0.0)

@@ -184,29 +184,29 @@ class TestCancellation:
 
     def test_cancel_heavy_workload_keeps_heap_bounded(self, sim):
         """Every membership change re-arms the pool's completion timer,
-        leaving the cancelled handle in the simulator heap until it is
+        leaving the cancelled handle in the scheduler backend until it is
         popped or compacted.  A cancel-heavy workload must not grow the
-        heap without bound."""
+        backend storage without bound."""
         pool = SharedPool(sim, capacity=2.0, per_job_cap=None)
-        max_heap = 0
+        max_stored = 0
 
         def churn(sim):
-            nonlocal max_heap
+            nonlocal max_stored
             pending: list = []
             for _ in range(3000):
                 pending.append(pool.execute(1e6))
                 if len(pending) > 4:
                     pool.cancel(pending.pop(0))
                 yield sim.timeout(0.001)
-                max_heap = max(max_heap, len(sim._heap))
+                max_stored = max(max_stored, sim.backend.storage_size())
             for ev in pending:
                 pool.cancel(ev)
 
         sim.spawn(churn(sim))
         sim.run()
         # ~6000 membership changes produced ~6000 stale timers while only
-        # a handful of entries were ever live; without compaction the heap
-        # would hold them all.
-        assert max_heap < 500
+        # a handful of entries were ever live; without compaction the
+        # backend would hold them all.
+        assert max_stored < 500
         assert pool.active_jobs == 0
-        assert len(sim._heap) == 0
+        assert sim.backend.storage_size() == 0
