@@ -9,7 +9,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test test-sanitize test-backend scenarios obs-check bench perf-check perf-write profile ci
+.PHONY: lint test test-sanitize test-backend test-fleet scenarios obs-check bench perf-check perf-write profile ci
 
 # Determinism & simulation-safety static analysis (rules SL001-SL009).
 lint:
@@ -28,11 +28,19 @@ test-sanitize:
 test-backend:
 	REPRO_KERNEL_BACKEND=batched $(PYTHON) -m pytest -x -q
 
+# The fleet tier lane: sharded-vs-serial determinism, fluid-vs-exact
+# cross-validation within the documented tolerances, epoch protocol.
+test-fleet:
+	$(PYTHON) -m pytest -x -q tests/fleet tests/workloads/test_fluid.py
+
 # Schema-check every committed spec file, then dry-build each of them
 # plus every registered scenario, so spec/schema drift fails CI fast.
+# Fleet specs validate through their own CLI (dry-build at 1000 hosts
+# is a real run, so validation stops at the schema + geometry checks).
 scenarios:
-	$(PYTHON) -m repro.scenario validate examples/*.toml
-	$(PYTHON) -m repro.scenario build examples/*.toml $$($(PYTHON) -m repro.scenario list | awk '{print $$1}')
+	$(PYTHON) -m repro.scenario validate $(filter-out examples/fleet_%,$(wildcard examples/*.toml))
+	$(PYTHON) -m repro.scenario build $(filter-out examples/fleet_%,$(wildcard examples/*.toml)) $$($(PYTHON) -m repro.scenario list | awk '{print $$1}')
+	$(PYTHON) -m repro.fleet validate examples/fleet_*.toml
 
 # End-to-end observability self-check: drive an instrumented rejuvenation
 # run, then cross-verify the span tree against the measured downtime
@@ -45,10 +53,11 @@ obs-check:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
-# Kernel micro-benchmarks + sub-second experiments, guarded against the
-# committed baseline.  Seconds, not a full sweep.  Kernel throughputs
-# are recorded per scheduler backend (BENCH_PERF.json schema 3,
-# kernel.backends matrix); most gates compare against the committed
+# Kernel micro-benchmarks + fleet matrix + sub-second experiments,
+# guarded against the committed baseline.  Seconds, not a full sweep.
+# Kernel throughputs are recorded per scheduler backend and fleet wall
+# clocks per hosts x mode cell (BENCH_PERF.json schema 4); most gates
+# compare against the committed
 # baseline and are therefore hardware-relative: on a machine slower
 # than the baseline's, widen the gate for one run with
 # `REPRO_PERF_TOLERANCE=1.6 make perf-check` (or --tolerance); if the
@@ -74,4 +83,4 @@ profile:
 	pr = cProfile.Profile(); pr.enable(); run_experiment('FIG9'); \
 	pr.disable(); pstats.Stats(pr).sort_stats('cumulative').print_stats(40)"
 
-ci: lint test test-sanitize test-backend scenarios obs-check perf-check
+ci: lint test test-sanitize test-backend test-fleet scenarios obs-check perf-check

@@ -1,0 +1,151 @@
+"""Fleet-tier benchmarks: the hosts × workload-mode wall-clock matrix.
+
+Standalone (prints JSON)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py          # quick cells
+    PYTHONPATH=src python benchmarks/bench_fleet.py --full   # + 1000 hosts
+
+Three sizes exercise the tier's reason to exist:
+
+* **4 hosts, exact + fluid** — the largest size both modes run, so the
+  two walls come from one machine seconds apart and their ratio
+  (``fluid_speedup``) is hardware-independent.  The perf gate requires
+  it ≥ ``FLUID_MIN_SPEEDUP`` (see ``perf_report.py``) — the fluid
+  model must actually buy the orders of magnitude it claims.
+* **100 hosts, fluid** — a single-shard in-process run; guards the
+  per-tick vectorized accounting path against regressions.
+* **1000 hosts, fluid, 8 shards (``--full`` only)** — the acceptance
+  cell: one million concurrent fluid sessions rolling through warm
+  rejuvenation, the paper's consolidation story at datacenter scale.
+
+Every cell reports simulated-seconds-per-wall-second context via the
+spec horizon, but only wall clocks are guarded (lower is better,
+hardware-relative tolerance) plus the same-run speedup ratio.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import typing
+
+#: Host count of the cell measured in both modes; its exact/fluid wall
+#: ratio is the same-run ``fluid_speedup`` the perf gate enforces.
+OVERLAP_HOSTS = 4
+
+
+def _fleet_spec(
+    hosts: int,
+    mode: str,
+    shards: int,
+    sessions: int,
+    hosts_per_epoch: int,
+    warmup_s: float,
+    observe_s: float,
+    tick_s: float = 1.0,
+) -> typing.Any:
+    from repro.fleet import FleetSpec
+
+    workload: dict[str, typing.Any] = {
+        "kind": "httperf",
+        "service": "apache",
+        "mode": mode,
+        "files": 4,
+        "file_kib": 512.0,
+    }
+    if mode == "fluid":
+        workload["sessions"] = sessions
+        workload["tick_s"] = tick_s
+    else:
+        workload["concurrency"] = sessions
+    return FleetSpec.from_dict(
+        {
+            "name": f"bench-fleet-{hosts}-{mode}",
+            "shards": shards,
+            "hosts": [
+                {"count": hosts, "vms": [{"count": 1, "services": ["apache"]}]}
+            ],
+            "workloads": [workload],
+            "strategy": "warm",
+            "hosts_per_epoch": hosts_per_epoch,
+            "epoch_s": 60.0,
+            "warmup_s": warmup_s,
+            "observe_s": observe_s,
+        }
+    )
+
+
+def _run(spec: typing.Any, jobs: int) -> float:
+    from repro.fleet import run_fleet
+
+    started = time.perf_counter()
+    run_fleet(spec, jobs=jobs)
+    return time.perf_counter() - started
+
+
+def measure(full: bool = False, jobs: int = 8) -> dict[str, typing.Any]:
+    """The fleet matrix: wall clock per (hosts, mode) cell.
+
+    Quick cells run shards serially in-process (``jobs=1``) so the
+    walls measure simulation, not pool spin-up; the full 1000-host cell
+    is the real sharded deployment shape and uses ``jobs`` workers.
+    """
+    overlap = dict(
+        hosts=OVERLAP_HOSTS, shards=1, sessions=8, hosts_per_epoch=2,
+        warmup_s=60.0, observe_s=120.0,
+    )
+    exact_s = _run(_fleet_spec(mode="exact", **overlap), jobs=1)
+    fluid_s = _run(_fleet_spec(mode="fluid", **overlap), jobs=1)
+    matrix: dict[str, dict[str, float]] = {
+        str(OVERLAP_HOSTS): {
+            "exact_s": round(exact_s, 3),
+            "fluid_s": round(fluid_s, 3),
+        },
+        "100": {
+            "fluid_s": round(
+                _run(
+                    _fleet_spec(
+                        hosts=100, mode="fluid", shards=1, sessions=100,
+                        hosts_per_epoch=10, warmup_s=120.0, observe_s=600.0,
+                    ),
+                    jobs=1,
+                ),
+                3,
+            )
+        },
+    }
+    report: dict[str, typing.Any] = {
+        "matrix": matrix,
+        "fluid_speedup": round(exact_s / fluid_s, 1),
+    }
+    if full:
+        # The acceptance cell: 1000 hosts x 1000 sessions = 1M fluid
+        # sessions, 8 shards in worker processes (examples/
+        # fleet_rolling.toml is this same configuration).
+        matrix["1000"] = {
+            "fluid_s": round(
+                _run(
+                    _fleet_spec(
+                        hosts=1000, mode="fluid", shards=8, sessions=1000,
+                        hosts_per_epoch=50, warmup_s=120.0, observe_s=1200.0,
+                        tick_s=2.0,
+                    ),
+                    jobs=jobs,
+                ),
+                2,
+            ),
+            "sessions": 1_000_000,
+        }
+    return report
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--full", action="store_true",
+                        help="also run the 1000-host / 1M-session cell")
+    parser.add_argument("--jobs", type=int, default=8,
+                        help="worker processes for the 1000-host cell")
+    args = parser.parse_args()
+    print(json.dumps(measure(full=args.full, jobs=args.jobs), indent=2))

@@ -10,10 +10,13 @@ to it shows up in review) and checks fresh measurements against it::
 than the tolerance against the committed baseline — wall clocks slower,
 or kernel throughputs lower, by more than the allowed ratio (default
 1.30, i.e. 30 %).  Kernel throughputs are guarded per scheduler backend
-(the ``kernel.backends`` matrix), and one gate is *relative within the
-fresh run* and therefore hardware-independent and tolerance-free: the
-batched backend must beat the reference on events/sec by at least
-``BATCHED_MIN_SPEEDUP`` in the same measurement.  Override the
+(the ``kernel.backends`` matrix) and fleet wall clocks per hosts × mode
+cell (the ``fleet.matrix``, schema 4).  Two gates are *relative within
+the fresh run* and therefore hardware-independent and tolerance-free:
+the batched backend must beat the reference on events/sec by at least
+``BATCHED_MIN_SPEEDUP``, and the fluid workload mode must beat exact
+mode's wall clock by at least ``FLUID_MIN_SPEEDUP`` on the largest
+fleet size both modes run.  Override the
 regression ratio with ``--tolerance 1.5`` or the
 ``REPRO_PERF_TOLERANCE`` environment variable when checking on hardware
 slower than the baseline machine; rewrite the baseline itself with
@@ -56,6 +59,11 @@ BATCHED_MIN_SPEEDUP = 1.5
 """The batched backend must beat the reference on events/sec by at least
 this factor *within one measurement run*.  Same-run relative, so no
 hardware tolerance applies — both backends saw the same machine."""
+
+FLUID_MIN_SPEEDUP = 10.0
+"""The fluid workload mode must beat exact mode's wall clock by at least
+this factor on the largest fleet size both modes run (schema 4,
+``fleet.fluid_speedup``).  Same-run relative, like the backend gate."""
 
 
 def default_tolerance() -> float:
@@ -132,13 +140,15 @@ def measure_run_all(jobs: int) -> dict[str, typing.Any]:
 
 
 def measure(smoke: bool, jobs: int) -> dict[str, typing.Any]:
+    from benchmarks.bench_fleet import measure as measure_fleet
     from benchmarks.bench_kernel import measure as measure_kernel
     from repro.experiments import experiment_ids
 
     report: dict[str, typing.Any] = {
-        "schema": 3,
+        "schema": 4,
         "mode": "quick" if smoke else "full",
         "kernel": measure_kernel(),
+        "fleet": measure_fleet(full=not smoke, jobs=jobs),
         "experiments_s": measure_experiments(
             SMOKE_IDS if smoke else experiment_ids()
         ),
@@ -201,6 +211,34 @@ def check(
         print(
             f"  [{mark}] kernel batched_speedup (same-run): "
             f"required >= {BATCHED_MIN_SPEEDUP}, now {speedup:g}"
+        )
+        if bad:
+            failures += 1
+
+    # Schema >= 4: the fleet hosts x mode wall-clock matrix, plus the
+    # same-run fluid-vs-exact speedup gate (hardware-independent for the
+    # same reason as the backend gate).
+    fresh_fleet = fresh.get("fleet", {})
+    for size, cells in baseline.get("fleet", {}).get("matrix", {}).items():
+        fresh_cells = fresh_fleet.get("matrix", {}).get(size, {})
+        for cell, cell_base in cells.items():
+            if not cell.endswith("_s"):
+                continue  # context fields (session counts), not walls
+            now = fresh_cells.get(cell)
+            if now is not None:
+                guard(
+                    f"fleet [{size} hosts] {cell}",
+                    cell_base,
+                    now,
+                    higher_is_better=False,
+                )
+    fluid_speedup = fresh_fleet.get("fluid_speedup")
+    if fluid_speedup is not None:
+        bad = fluid_speedup < FLUID_MIN_SPEEDUP
+        mark = "FAIL" if bad else "ok"
+        print(
+            f"  [{mark}] fleet fluid_speedup (same-run): "
+            f"required >= {FLUID_MIN_SPEEDUP}, now {fluid_speedup:g}"
         )
         if bad:
             failures += 1
@@ -272,8 +310,16 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         merged = fresh
         if BENCH_PATH.exists():
             merged = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
-            merged.update({k: v for k, v in fresh.items() if k != "experiments_s"})
+            merged.update({
+                k: v for k, v in fresh.items()
+                if k not in ("experiments_s", "fleet")
+            })
             merged.setdefault("experiments_s", {}).update(fresh["experiments_s"])
+            # Merge fleet cells the same way: a quick --write must not
+            # drop the full-mode 1000-host cell.
+            fleet = merged.setdefault("fleet", {})
+            fleet.setdefault("matrix", {}).update(fresh["fleet"]["matrix"])
+            fleet["fluid_speedup"] = fresh["fleet"]["fluid_speedup"]
         tmp = BENCH_PATH.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n",
                        encoding="utf-8")

@@ -25,6 +25,7 @@ RULES: dict[str, str] = {
     "SL007": "ad-hoc stack construction in an experiment module",
     "SL008": "unregistered span/metric name, or hand-written span record",
     "SL009": "scheduler-backend internals accessed outside repro/simkernel",
+    "SL010": "fleet/shard internals accessed outside repro/fleet",
 }
 
 # SL001 — anything that reads the host clock.  Simulated components must
@@ -94,6 +95,13 @@ _BACKEND_STRUCTS = frozenset({"_heap", "_run", "_far"})
 # ``sim._backend``, or a local so named.
 _BACKEND_RECEIVERS = frozenset({"backend", "_backend"})
 
+# SL010 — receivers that denote a fleet or one of its shards.  A shard is
+# one process's private simulation: the only cross-shard state is the
+# plain-dict plan/payload protocol in repro/fleet, so any other module
+# reaching into a fleet/shard object's privates is smuggling shared
+# objects across what must stay a process boundary.
+_FLEET_RECEIVERS = frozenset({"fleet", "_fleet", "shard", "_shard"})
+
 # SL007 — stack entry points experiment modules must not call directly.
 # Experiments build their testbeds through the declarative scenario layer
 # (repro.scenario.ScenarioBuilder / common.build_testbed), which is the
@@ -112,6 +120,7 @@ class ModulePolicy:
     is_experiment: bool = False  # repro/experiments/: SL007 applies
     is_span_owner: bool = False  # simkernel/spans.py: may write span.* records
     is_simkernel: bool = False  # repro/simkernel/: SL009 exempt
+    is_fleet: bool = False  # repro/fleet/: SL010 exempt
 
     @classmethod
     def for_path(cls, path: str) -> "ModulePolicy":
@@ -122,11 +131,14 @@ class ModulePolicy:
             or norm.endswith("simkernel/events.py")
             or norm.endswith("simkernel/backends.py"),
             is_driver=norm.endswith("experiments/cli.py")
-            or norm.endswith("experiments/parallel.py"),
+            or norm.endswith("experiments/parallel.py")
+            or norm.endswith("fleet/cli.py")
+            or norm.endswith("fleet/runner.py"),
             is_devtools="repro/devtools/" in norm,
             is_experiment="repro/experiments/" in norm,
             is_span_owner=norm.endswith("simkernel/spans.py"),
             is_simkernel="repro/simkernel/" in norm,
+            is_fleet="repro/fleet/" in norm,
         )
 
 
@@ -375,6 +387,15 @@ class RuleVisitor(ast.NodeVisitor):
             return value.id in _BACKEND_RECEIVERS
         return False
 
+    @staticmethod
+    def _receiver_is_fleet(value: ast.expr) -> bool:
+        """True when an attribute's receiver denotes a fleet or shard."""
+        if isinstance(value, ast.Attribute):
+            return value.attr in _FLEET_RECEIVERS
+        if isinstance(value, ast.Name):
+            return value.id in _FLEET_RECEIVERS
+        return False
+
     def visit_Attribute(self, node: ast.Attribute) -> None:
         if (
             not self.policy.is_simkernel
@@ -388,6 +409,20 @@ class RuleVisitor(ast.NodeVisitor):
                 f"backend-private attribute {node.attr!r} accessed outside "
                 "repro/simkernel; go through the SchedulerBackend "
                 "interface (pending()/storage_size()/peek()/compact())",
+            )
+        if (
+            not self.policy.is_fleet
+            and node.attr.startswith("_")
+            and not node.attr.startswith("__")
+            and self._receiver_is_fleet(node.value)
+        ):
+            self._emit(
+                "SL010",
+                node,
+                f"fleet/shard-private attribute {node.attr!r} accessed "
+                "outside repro/fleet; shards share state only through the "
+                "plan/payload dict protocol (FleetSpec.shard_plans / "
+                "run_fleet_shard)",
             )
         self.generic_visit(node)
 

@@ -94,6 +94,10 @@ class ClusterError(ReproError):
     """A cluster-level orchestration error."""
 
 
+class FleetError(ReproError):
+    """A sharded-fleet spec was inconsistent or a shard broke protocol."""
+
+
 class AnalysisError(ReproError):
     """An analysis routine received data it cannot process."""
 

@@ -44,8 +44,13 @@ from repro.experiments.common import ExperimentResult
 _WHOLE = "__whole_run__"
 """Cell key marking a non-decomposed experiment run as a single unit."""
 
-_CACHE_VERSION = 1
-"""Bump to invalidate every cached payload at once."""
+_CACHE_VERSION = 2
+"""Bump to invalidate every cached payload at once.
+
+2: workload mode/sessions/tick entered the scenario spec schema and the
+kernel backend/horizon entered the digest material; payloads keyed under
+version 1 predate both and must never alias the new cells.
+"""
 
 
 @dataclasses.dataclass(frozen=True, eq=False)
@@ -62,9 +67,13 @@ class Cell:
         """Content address of this cell's payload.
 
         Two cells share a digest only if they would compute the same
-        payload: same function, same parameters, same timing profile and
-        same package source.  ``repr`` of the sorted parameter items is
-        stable because cell parameters are ints/floats/strs/bools.
+        payload: same function, same parameters, same timing profile,
+        same package source and the same ambient kernel configuration
+        (scheduler backend + horizon — environment knobs a cell's worker
+        inherits, so flipping them must never replay a stale payload).
+        ``repr`` of the sorted parameter items is stable because cell
+        parameters are ints/floats/strs/bools (and, for spec cells,
+        canonically ordered dicts of those).
         """
         material = repr(
             (
@@ -73,6 +82,7 @@ class Cell:
                 sorted(self.params.items()),
                 bool(full),
                 _profile_fingerprint(),
+                _env_fingerprint(),
                 code_version(),
             )
         )
@@ -86,6 +96,23 @@ def _profile_fingerprint() -> str:
     captures every calibrated constant an experiment can observe.
     """
     return repr(paper_testbed())
+
+
+def _env_fingerprint() -> str:
+    """Ambient kernel knobs worker processes inherit, as cache-key material.
+
+    The scheduler backend contract says results never depend on the
+    backend — but the cache must not *assume* the contract holds: a
+    payload computed under one backend/horizon must never satisfy a
+    lookup made under another, or a contract violation would be masked
+    by replay instead of caught by the differential tests.
+    """
+    return repr(
+        (
+            os.environ.get("REPRO_KERNEL_BACKEND") or "reference",
+            os.environ.get("REPRO_KERNEL_HORIZON") or "",
+        )
+    )
 
 
 _code_version: str | None = None
@@ -287,6 +314,22 @@ def _run_cells(
             if use_cache:
                 _cache_store(digest, payload)
     return payloads
+
+
+def run_cells(
+    cells: typing.Sequence[Cell],
+    jobs: int | None = None,
+    use_cache: bool = True,
+    stats: SweepStats | None = None,
+) -> dict[tuple[str, tuple], typing.Any]:
+    """Public pooled-cell entry point for non-experiment tiers.
+
+    The fleet runner (``repro.fleet``) fans its shard cells through this,
+    so shards pool, parallelise and content-address cache exactly like
+    experiment and scenario cells; payloads come back keyed by
+    ``(experiment id, cell key)``.
+    """
+    return _run_cells(list(cells), False, jobs, use_cache, stats)
 
 
 def run_experiment_parallel(

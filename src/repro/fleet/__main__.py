@@ -1,0 +1,7 @@
+"""``python -m repro.fleet`` entry point."""
+
+import sys
+
+from repro.fleet.cli import main
+
+sys.exit(main())

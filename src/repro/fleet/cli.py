@@ -1,0 +1,74 @@
+"""Command line for the fleet tier.
+
+Exposed as ``python -m repro.fleet ...``::
+
+    fleet validate SPEC...        # schema-check fleet TOML files
+    fleet run SPEC [--jobs N]     # run every shard, print the report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.errors import FleetError, ScenarioError
+from repro.fleet.runner import run_fleet
+from repro.fleet.spec import load_fleet_toml
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    for path in args.specs:
+        spec = load_fleet_toml(path)
+        print(
+            f"{path}: ok ({spec.name}: {spec.host_count} host(s), "
+            f"{spec.sessions} fluid session(s), {len(spec.shard_plans())} "
+            f"shard(s), {spec.epochs} epoch(s))"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = load_fleet_toml(args.spec)
+    report = run_fleet(spec, jobs=args.jobs, use_cache=args.cache)
+    print(report.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="Sharded fleet runs: validate and run fleet specs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    validate = sub.add_parser("validate", help="schema-check fleet TOML files")
+    validate.add_argument("specs", nargs="+", metavar="SPEC.toml")
+    validate.set_defaults(fn=_cmd_validate)
+
+    run = sub.add_parser("run", help="run one fleet end-to-end")
+    run.add_argument("spec", metavar="SPEC.toml")
+    run.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the shard fan-out (default: cpu count); "
+        "1 runs shards serially in-process",
+    )
+    run.add_argument(
+        "--cache", action="store_true",
+        help="content-address shard payloads in the experiments cache",
+    )
+    run.set_defaults(fn=_cmd_run)
+    return parser
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except (FleetError, ScenarioError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

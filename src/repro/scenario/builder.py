@@ -24,7 +24,7 @@ from repro.errors import ReproError, ScenarioError
 from repro.guest.kernel import GuestKernel
 from repro.scenario.spec import HostSpec, ScenarioSpec, WorkloadSpec
 from repro.simkernel import Simulator
-from repro.workloads.httperf import Httperf
+from repro.workloads.httperf import FluidCoordinator, FluidHttperf, Httperf
 from repro.workloads.prober import PingProber
 
 STANDALONE_VM_TEMPLATE = "vm{i:02d}"
@@ -53,7 +53,7 @@ class AttachedWorkload:
     host: Host
     vm_name: str
     paths: list[str]
-    client: "Httperf | PingProber | None"
+    client: "Httperf | FluidHttperf | PingProber | None"
     """The started client process owner; ``None`` for ``fileread`` (the
     runner drives timed reads imperatively)."""
 
@@ -71,6 +71,8 @@ class BuiltScenario:
     controller: RootHammer | None
     cluster: Cluster | None
     workloads: list[AttachedWorkload]
+    fluid: FluidCoordinator | None = None
+    """The fluid-workload tick driver; created on first fluid attach."""
 
     @property
     def hosts(self) -> list[Host]:
@@ -362,14 +364,35 @@ class ScenarioBuilder:
             )
             if workload.warm_cache:
                 sim.run(sim.spawn(guest.warm_file_cache(paths)))
-            client = Httperf(
-                sim,
-                lookup,
-                paths,
-                concurrency=workload.concurrency,
-                name=f"lb-{host.name}" if built.cluster is not None
-                else f"httperf-{vm_name}",
-            ).start()
+            client_name = (
+                f"lb-{host.name}" if built.cluster is not None
+                else f"httperf-{vm_name}"
+            )
+            client: Httperf | FluidHttperf
+            if workload.mode == "fluid":
+                if built.fluid is None:
+                    built.fluid = FluidCoordinator(sim, tick_s=workload.tick_s)
+                elif built.fluid.tick_s != workload.tick_s:
+                    raise ScenarioError(
+                        "all fluid workloads in one scenario must share "
+                        f"tick_s; got {built.fluid.tick_s} and "
+                        f"{workload.tick_s}"
+                    )
+                client = FluidHttperf(
+                    built.fluid,
+                    lookup,
+                    paths,
+                    sessions=workload.sessions,
+                    name=client_name,
+                )
+            else:
+                client = Httperf(
+                    sim,
+                    lookup,
+                    paths,
+                    concurrency=workload.concurrency,
+                    name=client_name,
+                ).start()
             built.workloads.append(
                 AttachedWorkload(workload, host, vm_name, paths, client)
             )

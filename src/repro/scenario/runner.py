@@ -134,7 +134,16 @@ def _periodic_schedule(
 def _measure(built: BuiltScenario, attached: AttachedWorkload) -> WorkloadReport:
     spec = attached.spec
     sim = built.sim
-    if spec.kind == "httperf":
+    if spec.kind == "httperf" and spec.mode == "fluid":
+        client = attached.client
+        metrics = {
+            "requests": client.total_completed,
+            "failures": client.failures,
+            "mean_rate": client.mean_rate(),
+            "downtime_s": client.downtime_s,
+            "availability": client.availability(),
+        }
+    elif spec.kind == "httperf":
         client = attached.client
         metrics = {
             "requests": float(len(client.completion_times)),

@@ -29,6 +29,9 @@ STRATEGIES = ("warm", "cold", "saved", "dom0-only")
 
 MAINTENANCE_KINDS = ("reboot", "rolling", "migration", "periodic")
 WORKLOAD_KINDS = ("httperf", "fileread", "prober")
+WORKLOAD_MODES = ("exact", "fluid")
+"""``exact`` simulates every request; ``fluid`` advances session counts
+at aggregation ticks (see :class:`repro.workloads.httperf.FluidHttperf`)."""
 PROFILES = ("paper", "small")
 FAULT_PRESETS = ("healthy", "paper-bugs")
 
@@ -202,6 +205,11 @@ class WorkloadSpec:
     files of ``file_kib`` KiB under ``directory``; ``fileread`` creates a
     single ``file_kib`` file at ``path``; ``prober`` polls reachability
     every ``interval_s``.
+
+    ``mode`` selects the client model for ``httperf``: ``exact`` (the
+    default) simulates every request; ``fluid`` models ``sessions``
+    closed-loop clients as rates advanced every ``tick_s`` seconds, which
+    is how fleet-scale scenarios carry millions of concurrent sessions.
     """
 
     kind: str = "httperf"
@@ -214,12 +222,35 @@ class WorkloadSpec:
     warm_cache: bool = True
     path: str = "/data/file"
     interval_s: float = 0.5
+    mode: str = "exact"
+    sessions: int = 10
+    tick_s: float = 1.0
 
     def __post_init__(self) -> None:
         _require(
             self.kind in WORKLOAD_KINDS,
             "workload.kind",
             f"must be one of {', '.join(WORKLOAD_KINDS)}, got {self.kind!r}",
+        )
+        _require(
+            self.mode in WORKLOAD_MODES,
+            "workload.mode",
+            f"must be one of {', '.join(WORKLOAD_MODES)}, got {self.mode!r}",
+        )
+        _require(
+            self.mode == "exact" or self.kind == "httperf",
+            "workload.mode",
+            f"fluid mode only applies to httperf, got kind {self.kind!r}",
+        )
+        _require(
+            self.sessions >= 1,
+            "workload.sessions",
+            f"must be >= 1, got {self.sessions}",
+        )
+        _require(
+            self.tick_s > 0,
+            "workload.tick_s",
+            f"must be positive, got {self.tick_s}",
         )
         _require(self.files >= 1, "workload.files", f"must be >= 1, got {self.files}")
         _require(
@@ -245,7 +276,8 @@ class WorkloadSpec:
     @classmethod
     def from_dict(cls, data: dict, where: str = "workload") -> "WorkloadSpec":
         _check_keys(data, _FIELDS[cls], where)
-        for key in ("files", "file_kib", "concurrency", "interval_s"):
+        for key in ("files", "file_kib", "concurrency", "interval_s",
+                    "sessions", "tick_s"):
             _number(data, key, where)
         return _construct(cls, dict(data), where)
 
@@ -382,6 +414,7 @@ class ScenarioSpec:
     description: str = ""
     hosts: tuple[HostSpec, ...] = (HostSpec(vms=(VMSpec(),)),)
     spare: bool = False
+    force_cluster: bool = False
     profile: str = "paper"
     seed: int = 0
     workloads: tuple[WorkloadSpec, ...] = ()
@@ -431,8 +464,13 @@ class ScenarioSpec:
 
     @property
     def is_cluster(self) -> bool:
-        """Whether this spec materializes as a Cluster (vs one RootHammer)."""
-        return self.host_count > 1 or self.spare
+        """Whether this spec materializes as a Cluster (vs one RootHammer).
+
+        ``force_cluster`` makes even a single host build as a Cluster —
+        fleet shards use it so a one-host shard keeps cluster VM naming
+        and RNG streams, and shard partitioning never changes results.
+        """
+        return self.host_count > 1 or self.spare or self.force_cluster
 
     @classmethod
     def from_dict(cls, data: dict, where: str = "scenario") -> "ScenarioSpec":

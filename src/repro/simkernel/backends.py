@@ -51,6 +51,7 @@ keys unique, so tuple comparison never reaches the item.
 from __future__ import annotations
 
 import heapq
+import os
 import typing
 
 from repro.errors import SimulationError
@@ -229,10 +230,27 @@ class BatchedBackend(SchedulerBackend):
 
     #: Width of the near-time window, in simulated seconds.  Timers due
     #: beyond ``now + span`` land in the far heap.  Purely a performance
-    #: knob: any positive value yields identical execution order.
+    #: knob: any positive value yields identical execution order.  The
+    #: default suits per-request cadences (sub-second event spacing);
+    #: fleet-scale runs whose dominant cadence is coarse aggregation
+    #: ticks may prefer a wider horizon — pass ``horizon=`` or set
+    #: ``REPRO_KERNEL_HORIZON`` (see :func:`resolve_backend` and the
+    #: horizon-sweep note in DESIGN.md).
     DEFAULT_SPAN = 64.0
 
-    def __init__(self, start_time: float = 0.0, span: float = DEFAULT_SPAN) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        span: float | None = None,
+        horizon: float | None = None,
+    ) -> None:
+        if span is not None and horizon is not None and span != horizon:
+            raise SimulationError(
+                f"span={span} and horizon={horizon} are the same knob "
+                "spelled two ways; pass only one"
+            )
+        if span is None:
+            span = horizon if horizon is not None else self.DEFAULT_SPAN
         if span <= 0:
             raise SimulationError(f"horizon span must be positive, got {span}")
         self._run: list[tuple] = []
@@ -441,6 +459,31 @@ BACKENDS: dict[str, type[SchedulerBackend]] = {
 DEFAULT_BACKEND = ReferenceBackend.name
 
 
+def resolve_horizon(env_value: str | None = None) -> float | None:
+    """The far-horizon override from ``REPRO_KERNEL_HORIZON``, if any.
+
+    ``env_value`` defaults to the live environment variable.  Returns
+    ``None`` when unset (the backend then uses its built-in default);
+    raises :class:`SimulationError` for unparsable or non-positive
+    values rather than silently running on a garbage horizon.
+    """
+    if env_value is None:
+        env_value = os.environ.get("REPRO_KERNEL_HORIZON")
+    if not env_value:
+        return None
+    try:
+        horizon = float(env_value)
+    except ValueError:
+        raise SimulationError(
+            f"REPRO_KERNEL_HORIZON={env_value!r} is not a number"
+        ) from None
+    if horizon <= 0:
+        raise SimulationError(
+            f"REPRO_KERNEL_HORIZON={env_value} must be positive"
+        )
+    return horizon
+
+
 def resolve_backend(
     spec: "str | SchedulerBackend | type[SchedulerBackend] | None",
     start_time: float = 0.0,
@@ -452,6 +495,11 @@ def resolve_backend(
     instance (which must be fresh — backends are stateful and owned by
     exactly one simulator), or ``None`` to consult ``env`` (the
     ``REPRO_KERNEL_BACKEND`` value) and fall back to the reference.
+
+    When a :class:`BatchedBackend` is constructed here (by name or
+    class), its far horizon honours ``REPRO_KERNEL_HORIZON``; an
+    explicitly pre-built instance keeps whatever horizon it was built
+    with.
     """
     if spec is None:
         spec = env if env else DEFAULT_BACKEND
@@ -464,11 +512,11 @@ def resolve_backend(
                 f"unknown scheduler backend {spec!r} (known: {known})"
             ) from None
         if cls is BatchedBackend:
-            return BatchedBackend(start_time=start_time)
+            return BatchedBackend(start_time=start_time, horizon=resolve_horizon())
         return cls()
     if isinstance(spec, type) and issubclass(spec, SchedulerBackend):
         if spec is BatchedBackend:
-            return BatchedBackend(start_time=start_time)
+            return BatchedBackend(start_time=start_time, horizon=resolve_horizon())
         return spec()
     if isinstance(spec, SchedulerBackend):
         return spec

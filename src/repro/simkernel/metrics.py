@@ -114,6 +114,12 @@ METRIC_SCHEMA: dict[str, MetricSpec] = {
     "httperf.errors": MetricSpec(
         "counter", "HTTP requests that exhausted their retries", "requests"
     ),
+    "fluid.completed_requests": MetricSpec(
+        "counter", "Fluid-model request completions (fractional)", "requests"
+    ),
+    "fluid.failed_requests": MetricSpec(
+        "counter", "Fluid-model failed requests while unreachable", "requests"
+    ),
 }
 """The registered metric names — the only ones an enabled registry will
 instantiate.  SL008 rejects unregistered literal names statically."""

@@ -61,6 +61,8 @@ SPAN_NAMES: frozenset[str] = frozenset(
         "cluster.host",
         "cluster.migration",
         "migration.vm",
+        # fleet tier: one host's epoch-scheduled reboot (detail = strategy)
+        "fleet.host",
     }
 )
 """The registered span taxonomy — the only names :meth:`SpanTracker.span`

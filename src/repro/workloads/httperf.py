@@ -18,12 +18,27 @@ lists), mirroring the trace engine: the serving loop allocates no
 per-request object, analyses read :attr:`Httperf.completion_times`
 directly, and the classic list-of-:class:`Completion` view is
 materialized lazily on first access.
+
+Two client models live here:
+
+* :class:`Httperf` — **exact** mode, one simulated event chain per
+  request; the semantic reference.
+* :class:`FluidHttperf` + :class:`FluidCoordinator` — **fluid** mode:
+  ``sessions`` closed-loop clients are a single number, advanced at
+  aggregation ticks by a per-simulator coordinator that solves a
+  processor-sharing rate model (numpy-vectorized across clients) against
+  the live hardware objects.  A million concurrent sessions is one array
+  slot; cross-validated against exact mode in
+  ``tests/workloads/test_fluid.py``.
 """
 
 from __future__ import annotations
 
+import math
 import typing
 from bisect import bisect_left, bisect_right
+
+import numpy
 
 from repro.errors import ReproError, ServiceError
 from repro.guest.services import Service
@@ -230,3 +245,367 @@ class Httperf:
             if span > 0:
                 points.append((times[i], window / span))
         return points
+
+
+# -- fluid mode --------------------------------------------------------------------
+
+_RESOURCES = 4
+"""Waterfill resource axes: CPU (core-seconds), memory bus (bytes), disk
+(bytes), NIC (bytes) — the four pools one Apache request touches."""
+
+
+class FluidHttperf:
+    """``sessions`` closed-loop HTTP clients as one fluid quantity.
+
+    Instead of simulating each request, the client's throughput over each
+    aggregation tick is the closed-loop asymptote ``sessions / L1``
+    (``L1`` = one request's unloaded latency read off the live hardware
+    objects), throttled by the owning machine's resource capacities when
+    several clients share it (see :meth:`FluidCoordinator._account`).
+    Reachability is sampled once per tick through the same ``lookup``
+    exact mode resolves per request, so downtime shows up as zero-rate
+    ticks and retry-paced failures, quantized to the tick length.
+
+    Everything is accounted in plain float rate * dt arithmetic from
+    simulation state only — runs are bit-deterministic for a fixed seed,
+    and identical no matter which process (or shard) hosts the client.
+    """
+
+    def __init__(
+        self,
+        coordinator: "FluidCoordinator",
+        lookup: typing.Callable[[], Service],
+        paths: typing.Iterable[str],
+        sessions: int,
+        retry_interval_s: float = 0.25,
+        name: str = "fluid",
+    ) -> None:
+        if sessions < 1:
+            raise ReproError("sessions must be >= 1")
+        if retry_interval_s <= 0:
+            raise ReproError("retry interval must be positive")
+        self.coordinator = coordinator
+        self.sim = coordinator.sim
+        self.lookup = lookup
+        self.name = name
+        self.sessions = sessions
+        self.retry_interval_s = retry_interval_s
+        self._paths = list(paths)
+        if not self._paths:
+            raise ReproError("fluid httperf needs at least one path")
+        self._since = self.sim.now
+        # Columnar tick log: row k covers [t[k] - dt[k], t[k]].
+        self._tick_t: list[float] = []
+        self._tick_dt: list[float] = []
+        self._tick_rate: list[float] = []
+        self._tick_fail: list[float] = []
+        self._tick_up: list[bool] = []
+        self._completed = 0.0
+        self._bytes = 0.0
+        self.failures = 0.0
+        self.downtime_s = 0.0
+        self._warm_cursor = 0
+        self._probe_ctx: tuple[typing.Any, float, float] | None = None
+        self._metric_completed = self.sim.metrics.counter(
+            "fluid.completed_requests", client=name
+        )
+        self._metric_errors = self.sim.metrics.counter(
+            "fluid.failed_requests", client=name
+        )
+        coordinator.register(self)
+
+    # -- per-tick model ---------------------------------------------------------
+
+    def _probe(self) -> tuple[typing.Any, float, list[float], list[float]] | None:
+        """Resolve the service and read the rate model's inputs.
+
+        Returns ``(machine, demand, per_request_costs, capacities)`` or
+        ``None`` when the service is unreachable this tick.  Costs and
+        capacities are per :data:`_RESOURCES` axis.
+        """
+        try:
+            service = self.lookup()
+        except ReproError:
+            return None
+        guest = service.guest
+        if not service.reachable or guest is None:
+            return None
+        try:
+            machine = guest.machine
+            filesystem = guest.filesystem
+            page_cache = guest.page_cache
+            total = 0
+            cached = 0
+            for path in self._paths:
+                size = filesystem.size_of(path)
+                total += size
+                cached += min(page_cache.cached_bytes(path), size)
+        except ReproError:
+            return None
+        if total <= 0:
+            return None
+        payload = total / len(self._paths)
+        resident = cached / total
+        cpu_s = guest.profile.services.request_cpu_s
+        nic = machine.nic
+        nic_bw = nic.spec.bandwidth * nic.degradation_factor
+        mem_bw = machine.membus.capacity
+        disk_bw = machine.disk.spec.read_bw
+        mem_bytes = resident * payload
+        disk_bytes = (1.0 - resident) * payload
+        solo_latency = (
+            cpu_s
+            + mem_bytes / mem_bw
+            + disk_bytes / disk_bw
+            + payload / nic_bw
+            + nic.spec.latency_s
+        )
+        self._probe_ctx = (guest, payload, resident)
+        return (
+            machine,
+            self.sessions / solo_latency,
+            [cpu_s, mem_bytes, disk_bytes, payload],
+            [float(machine.cpu.cores), mem_bw, disk_bw, nic_bw],
+        )
+
+    def _warm(self, guest: typing.Any, budget_bytes: float) -> None:
+        """Re-warm the page cache at the modeled miss rate.
+
+        Exact mode's misses repopulate the cache one request at a time
+        (``read_file`` inserts what it fetched from disk); mirror that by
+        inserting the tick's modeled disk bytes into the corpus in cursor
+        order, so a cache-cold window after a cold reboot recovers instead
+        of persisting forever.
+        """
+        budget = int(budget_bytes)
+        paths = self._paths
+        filesystem = guest.filesystem
+        page_cache = guest.page_cache
+        for _ in range(len(paths)):
+            if budget <= 0:
+                return
+            path = paths[self._warm_cursor % len(paths)]
+            missing = filesystem.size_of(path) - page_cache.cached_bytes(path)
+            if missing > 0:
+                take = min(missing, budget)
+                page_cache.insert(path, take)
+                budget -= take
+                if take < missing:
+                    return
+            self._warm_cursor += 1
+
+    def _commit(self, start: float, end: float, rate: float, up: bool) -> None:
+        """Account one tick interval [start, end] at a constant rate."""
+        start = max(start, self._since)
+        dt = end - start
+        if dt <= 0:
+            return
+        self._tick_t.append(end)
+        self._tick_dt.append(dt)
+        self._tick_up.append(up)
+        if up:
+            self._tick_rate.append(rate)
+            self._tick_fail.append(0.0)
+            done = rate * dt
+            self._completed += done
+            context = self._probe_ctx
+            if context is not None:
+                guest, payload, resident = context
+                self._bytes += done * payload
+                if resident < 1.0:
+                    self._warm(guest, done * (1.0 - resident) * payload)
+            self._metric_completed.inc(done)
+        else:
+            fail_rate = self.sessions / self.retry_interval_s
+            self._tick_rate.append(0.0)
+            self._tick_fail.append(fail_rate)
+            self.failures += fail_rate * dt
+            self.downtime_s += dt
+            self._metric_errors.inc(fail_rate * dt)
+
+    # -- control -----------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Account the final partial tick and stop the coordinator."""
+        self.coordinator.finalize()
+
+    # -- measurement -------------------------------------------------------------
+
+    @property
+    def total_completed(self) -> float:
+        """Modeled request completions over the whole run (fractional)."""
+        return self._completed
+
+    @property
+    def bytes_served(self) -> float:
+        return self._bytes
+
+    def _overlaps(
+        self, since: float, until: float
+    ) -> typing.Iterator[tuple[int, float]]:
+        """(row index, overlap seconds) for ticks intersecting a window."""
+        ticks = self._tick_t
+        lo = bisect_left(ticks, since)
+        for i in range(lo, len(ticks)):
+            end = ticks[i]
+            start = end - self._tick_dt[i]
+            if start >= until:
+                return
+            overlap = min(end, until) - max(start, since)
+            if overlap > 0:
+                yield i, overlap
+
+    def requests(
+        self, since: float = float("-inf"), until: float = float("inf")
+    ) -> float:
+        """Modeled completions inside a window."""
+        return sum(self._tick_rate[i] * ov for i, ov in self._overlaps(since, until))
+
+    def failures_in(
+        self, since: float = float("-inf"), until: float = float("inf")
+    ) -> float:
+        """Modeled failed requests inside a window."""
+        return sum(self._tick_fail[i] * ov for i, ov in self._overlaps(since, until))
+
+    def downtime(
+        self, since: float = float("-inf"), until: float = float("inf")
+    ) -> float:
+        """Seconds inside a window the service was unreachable."""
+        return sum(
+            ov for i, ov in self._overlaps(since, until) if not self._tick_up[i]
+        )
+
+    def availability(
+        self, since: float = float("-inf"), until: float = float("inf")
+    ) -> float:
+        """Reachable fraction of the accounted window (1.0 if empty)."""
+        total = 0.0
+        down = 0.0
+        for i, overlap in self._overlaps(since, until):
+            total += overlap
+            if not self._tick_up[i]:
+                down += overlap
+        return 1.0 - down / total if total > 0 else 1.0
+
+    def mean_rate(
+        self, since: float = float("-inf"), until: float = float("inf")
+    ) -> float:
+        """Mean completions/second over a window (downtime included)."""
+        total = 0.0
+        done = 0.0
+        for i, overlap in self._overlaps(since, until):
+            total += overlap
+            done += self._tick_rate[i] * overlap
+        return done / total if total > 0 else 0.0
+
+    def throughput_timeline(self) -> list[tuple[float, float]]:
+        """Per-tick (end time, req/s) points — the fluid Figure 7 series."""
+        return list(zip(self._tick_t, self._tick_rate))
+
+    def window_summary(self, since: float, until: float) -> dict[str, float]:
+        """The cross-validation row for one observation window."""
+        return {
+            "requests": self.requests(since, until),
+            "failures": self.failures_in(since, until),
+            "mean_rate": self.mean_rate(since, until),
+            "downtime_s": self.downtime(since, until),
+            "availability": self.availability(since, until),
+        }
+
+
+class FluidCoordinator:
+    """Advances every registered :class:`FluidHttperf` at aggregation ticks.
+
+    One per simulator.  Ticks land on the **absolute** grid (multiples of
+    ``tick_s``), not at offsets from when the coordinator started: two
+    simulations that build at different instants (a serial fleet vs. one
+    of its shards) therefore account the same wall-aligned intervals, and
+    windowed queries over a common span agree bit-for-bit.
+
+    Each tick solves a per-machine waterfill: clients demand their
+    closed-loop rate; every machine scales its residents' demands by one
+    factor so no resource (CPU, memory bus, disk, NIC) exceeds capacity —
+    the fluid analogue of :class:`~repro.simkernel.sharing.SharedPool`'s
+    proportional sharing.  The solve is numpy-vectorized across clients;
+    summation order is registration order, so results are deterministic.
+    """
+
+    def __init__(self, sim: Simulator, tick_s: float = 1.0) -> None:
+        if tick_s <= 0:
+            raise ReproError("fluid tick must be positive")
+        self.sim = sim
+        self.tick_s = tick_s
+        self._clients: list[FluidHttperf] = []
+        self._proc: Process | None = None
+        self._last = sim.now
+        self._stopped = False
+
+    def register(self, client: FluidHttperf) -> None:
+        """Add a client; starts the tick process on the first register."""
+        if self._stopped:
+            raise ReproError("fluid coordinator already finalized")
+        self._clients.append(client)
+        if self._proc is None:
+            self._last = self.sim.now
+            self._proc = self.sim.spawn(self._run(), name="fluid.coordinator")
+
+    def _run(self) -> typing.Generator:
+        sim = self.sim
+        tick = self.tick_s
+        while not self._stopped:
+            target = (math.floor(sim.now / tick) + 1) * tick
+            yield sim.timeout(target - sim.now)
+            self._account(sim.now)
+
+    def _account(self, until: float) -> None:
+        start = self._last
+        if until <= start:
+            return
+        self._last = until
+        clients = self._clients
+        count = len(clients)
+        up = numpy.zeros(count, dtype=bool)
+        demand = numpy.zeros(count)
+        costs = numpy.zeros((_RESOURCES, count))
+        machine_index = numpy.zeros(count, dtype=int)
+        machine_slots: dict[int, int] = {}
+        capacities: list[list[float]] = []
+        for i, client in enumerate(clients):
+            probe = client._probe()
+            if probe is None:
+                continue
+            machine, client_demand, cost, capacity = probe
+            slot = machine_slots.setdefault(id(machine), len(machine_slots))
+            if slot == len(capacities):
+                capacities.append(capacity)
+            machine_index[i] = slot
+            up[i] = True
+            demand[i] = client_demand
+            costs[:, i] = cost
+        if machine_slots:
+            load = numpy.zeros((_RESOURCES, len(machine_slots)))
+            for axis in range(_RESOURCES):
+                numpy.add.at(load[axis], machine_index, demand * costs[axis])
+            capacity = numpy.array(capacities).T
+            # An axis nobody stresses (fully-resident corpus: zero disk
+            # bytes) has load 0; the discarded division overflows, so
+            # silence it rather than special-case the mask.
+            with numpy.errstate(over="ignore", divide="ignore"):
+                ratio = numpy.where(
+                    load > 0.0, capacity / numpy.maximum(load, 1e-300), numpy.inf
+                )
+            scale = numpy.minimum(ratio.min(axis=0), 1.0)
+            rates = demand * scale[machine_index]
+        else:
+            rates = demand
+        for i, client in enumerate(clients):
+            client._commit(start, until, float(rates[i]), bool(up[i]))
+
+    def finalize(self) -> None:
+        """Account the trailing partial tick and stop; idempotent."""
+        if self._stopped:
+            return
+        self._account(self.sim.now)
+        self._stopped = True
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.kill()

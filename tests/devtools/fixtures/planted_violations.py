@@ -44,3 +44,7 @@ def open_unregistered_span(sim, host):
 
 def poke_backend_internals(sim):
     return sim.backend._run  # SL009: backend-private attr outside simkernel
+
+
+def poke_shard_internals(fleet):
+    return fleet._clients  # SL010: fleet/shard-private attr outside repro/fleet

@@ -372,7 +372,7 @@ class TestCli:
     def test_findings_exit_one_with_text_report(self, capsys):
         assert main([_FIXTURE]) == 1
         out = capsys.readouterr().out
-        assert "SL001" in out and "8 finding(s)" in out
+        assert "SL001" in out and "9 finding(s)" in out
 
     def test_json_format_is_machine_readable(self, capsys):
         assert main(["--format=json", _FIXTURE]) == 1

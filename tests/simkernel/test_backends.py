@@ -20,6 +20,7 @@ from repro.simkernel import (
     SchedulerBackend,
     Simulator,
 )
+from repro.simkernel.backends import resolve_horizon
 
 
 class TestSelection:
@@ -273,3 +274,48 @@ class TestBatchedInternals:
     def test_invalid_span_rejected(self):
         with pytest.raises(SimulationError, match="span"):
             BatchedBackend(span=0.0)
+
+
+class TestHorizonKnob:
+    """``horizon=`` / REPRO_KERNEL_HORIZON: the public spelling of span."""
+
+    def test_horizon_sets_the_span(self):
+        assert BatchedBackend(horizon=2.5)._span == 2.5
+
+    def test_span_and_horizon_conflict(self):
+        with pytest.raises(SimulationError, match="same knob"):
+            BatchedBackend(span=1.0, horizon=2.0)
+
+    def test_invalid_horizon_rejected(self):
+        with pytest.raises(SimulationError, match="span"):
+            BatchedBackend(horizon=-1.0)
+
+    def test_resolve_horizon_parses_numbers(self, monkeypatch):
+        assert resolve_horizon("3.25") == 3.25
+        monkeypatch.delenv("REPRO_KERNEL_HORIZON", raising=False)
+        assert resolve_horizon() is None
+        monkeypatch.setenv("REPRO_KERNEL_HORIZON", "12.5")
+        assert resolve_horizon() == 12.5
+        assert resolve_horizon("") is None  # empty means unset
+
+    @pytest.mark.parametrize("value", ["banana", "0", "-4.0"])
+    def test_resolve_horizon_rejects_garbage(self, value):
+        with pytest.raises(SimulationError, match="REPRO_KERNEL_HORIZON"):
+            resolve_horizon(value)
+
+    def test_env_horizon_applies_to_named_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_HORIZON", "7.5")
+        assert Simulator(backend="batched").backend._span == 7.5
+        assert Simulator(backend=BatchedBackend).backend._span == 7.5
+
+    def test_env_horizon_never_touches_instances(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_HORIZON", "7.5")
+        inst = BatchedBackend(span=2.0)
+        assert Simulator(backend=inst).backend._span == 2.0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_horizon_choice_matches_reference(self, seed):
+        """Like span: the horizon changes speed, never results."""
+        reference = _run_fuzz(seed, "reference")
+        assert reference == _run_fuzz(seed, BatchedBackend(horizon=0.5))
+        assert reference == _run_fuzz(seed, BatchedBackend(horizon=1000.0))
