@@ -1,61 +1,15 @@
-"""Software-aging fault injection knobs.
+"""Software-aging fault injection knobs (re-export).
 
-§2 grounds the need for VMM rejuvenation in real Xen defects:
-
-* changeset 9392 — heap memory lost every time a VM is rebooted;
-* changeset 11752 — heap lost on certain error paths;
-* changeset 8640 — xenstored (in domain 0) leaking per transaction.
-
-:class:`AgingFaults` switches those defects on in the simulated stack so
-aging experiments can drive the VMM toward exhaustion; all default to off
-(a healthy hypervisor).  The VMM and xenstore consult this object — it
-deliberately lives in the ``aging`` package as the single catalogue of
-injectable degradation.
+:class:`~repro.config.AgingFaults` is defined with the other frozen spec
+dataclasses in :mod:`repro.config` — the VMM and xenstore (platform
+layer) consult it, and the layer map forbids them importing from the
+``aging`` package above them.  This module keeps the aging-facing name:
+aging policies, experiments and tests say ``repro.aging.AgingFaults``
+and never need to know where the spec lives.
 """
 
 from __future__ import annotations
 
-import dataclasses
+from repro.config import AgingFaults
 
-from repro.errors import ConfigError
-from repro.units import KiB
-
-
-@dataclasses.dataclass(frozen=True)
-class AgingFaults:
-    """Which historical defects are active, and how hard they bite."""
-
-    leak_on_domain_destroy_bytes: int = 0
-    """VMM heap bytes leaked each time a domain is destroyed (cs 9392:
-    'available heap memory decreased whenever a VM was rebooted')."""
-
-    leak_on_error_path_bytes: int = 0
-    """VMM heap bytes leaked when an error path executes (cs 11752)."""
-
-    xenstore_leak_per_txn_bytes: int = 0
-    """Bytes leaked by xenstored per transaction (cs 8640)."""
-
-    def __post_init__(self) -> None:
-        for field in (
-            "leak_on_domain_destroy_bytes",
-            "leak_on_error_path_bytes",
-            "xenstore_leak_per_txn_bytes",
-        ):
-            if getattr(self, field) < 0:
-                raise ConfigError(f"{field} must be >= 0")
-
-    @classmethod
-    def healthy(cls) -> "AgingFaults":
-        """No active defects."""
-        return cls()
-
-    @classmethod
-    def paper_bugs(cls) -> "AgingFaults":
-        """All three cited defects on, at magnitudes that exhaust the 16 MB
-        heap after many domain reboots — aggressive enough to observe in
-        simulated weeks, faithful in *kind* to the cited changesets."""
-        return cls(
-            leak_on_domain_destroy_bytes=64 * KiB,
-            leak_on_error_path_bytes=16 * KiB,
-            xenstore_leak_per_txn_bytes=4 * KiB,
-        )
+__all__ = ["AgingFaults"]

@@ -1,0 +1,131 @@
+"""The incremental result cache behind ``--changed`` / ``make lint``.
+
+One JSON document maps each file path to its content hash, its raw local
+findings, its suppression directives and its serialized
+:class:`~repro.devtools.simlint.index.ModuleIndex` — everything phase 2
+needs, so an unchanged file is never re-read or re-parsed.  The whole
+document is keyed by :func:`ruleset_key`, a fingerprint over the simlint
+package's own source *and* the declared schemas the rules consult
+(``TRACE_SCHEMA``, ``SPAN_NAMES``, ``METRIC_SCHEMA``): editing any rule,
+the layer map, or a registry invalidates every entry at once, so cached
+findings can never outlive the rule set that produced them.
+
+Phase 2 (layering, call-graph reachability, privacy/frozen resolution,
+stale suppressions) is recomputed on every run from the assembled index —
+it is graph work over a few hundred small fact tables, costs milliseconds,
+and recomputing it is what guarantees a warmed run reports findings
+identical to a cold one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import typing
+
+RULESET_VERSION = 2
+"""Bump on semantic rule changes a source hash cannot capture (none yet:
+the source fingerprint below covers the code; this is a manual escape)."""
+
+DEFAULT_CACHE_PATH = os.path.join("build", "simlint-cache.json")
+
+_ruleset_key: str | None = None
+
+
+def ruleset_key() -> str:
+    """Fingerprint of the rule set: simlint sources + consulted schemas."""
+    global _ruleset_key
+    if _ruleset_key is None:
+        h = hashlib.sha256()
+        h.update(str(RULESET_VERSION).encode())
+        package_dir = os.path.dirname(os.path.abspath(__file__))
+        for name in sorted(os.listdir(package_dir)):
+            if not name.endswith(".py"):
+                continue
+            h.update(name.encode())
+            with open(os.path.join(package_dir, name), "rb") as handle:
+                h.update(handle.read())
+        for chunk in _schema_material():
+            h.update(chunk.encode("utf-8"))
+        _ruleset_key = h.hexdigest()
+    return _ruleset_key
+
+
+def _schema_material() -> typing.Iterator[str]:
+    """Stable renderings of the declared registries the rules consult."""
+    from repro.simkernel.metrics import METRIC_SCHEMA
+    from repro.simkernel.spans import SPAN_NAMES
+    from repro.simkernel.tracing import TRACE_SCHEMA
+
+    for kind in sorted(TRACE_SCHEMA):
+        spec = TRACE_SCHEMA[kind]
+        yield f"trace:{kind}:{sorted(spec.required)}:{sorted(spec.allowed)}"
+    for name in sorted(SPAN_NAMES):
+        yield f"span:{name}"
+    for name in sorted(METRIC_SCHEMA):
+        yield f"metric:{name}:{METRIC_SCHEMA[name].kind}"
+
+
+class ResultCache:
+    """Load-mutate-store wrapper over the cache document."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.entries: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self._loaded_key: str | None = None
+
+    @classmethod
+    def load(cls, path: str) -> "ResultCache":
+        cache = cls(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return cache
+        if document.get("ruleset") != ruleset_key():
+            return cache  # rule set changed: every entry is stale
+        entries = document.get("files")
+        if isinstance(entries, dict):
+            cache.entries = entries
+            cache._loaded_key = document["ruleset"]
+        return cache
+
+    def get(self, path: str, sha256: str) -> dict | None:
+        entry = self.entries.get(path)
+        if entry is not None and entry.get("sha256") == sha256:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, path: str, entry: dict) -> None:
+        self.entries[path] = entry
+
+    def store(self, linted_paths: typing.Iterable[str]) -> None:
+        """Atomically persist entries for the paths this run touched.
+
+        Entries for files outside this run's path set are kept, so
+        linting a subtree does not evict the rest of the tree's cache.
+        """
+        document = {
+            "ruleset": ruleset_key(),
+            "files": dict(sorted(self.entries.items())),
+        }
+        directory = os.path.dirname(self.path) or "."
+        try:
+            os.makedirs(directory, exist_ok=True)
+            tmp = f"{self.path}.{os.getpid()}.tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, separators=(",", ":"))
+            os.replace(tmp, self.path)
+        except OSError:  # pragma: no cover - cache is best-effort
+            pass
+
+    def prune(self, live_paths: typing.AbstractSet[str]) -> None:
+        """Drop entries for files that no longer exist on disk."""
+        for path in list(self.entries):
+            if path not in live_paths and not os.path.exists(path):
+                del self.entries[path]

@@ -1,0 +1,179 @@
+"""The cross-module call graph and the SL013 reachability checker.
+
+SL013 turns SL001/SL002 from per-module policy lists into flow-derived
+facts: a wall-clock or unseeded-RNG call is a determinism bug *because*
+the simulation can reach it, so the rule walks the call graph from the
+simulation entry points —
+
+* ``repro.simkernel.kernel.Simulator.run`` (the event loop), and
+* every coroutine handed to ``sim.spawn(...)`` anywhere in the project
+  (process roots)
+
+— and reports each sink it can reach, with the full call chain from
+entry point to sink in the finding message so the report explains
+*why* the code is simulation-reachable, not just that it is.
+
+Edge resolution is confident-only (see :mod:`.index`): direct names,
+imported functions, ``self``/``cls`` methods (following declared base
+classes), and methods on receivers whose class is pinned by an
+annotation or a constructor assignment.  Unresolvable dynamic dispatch
+is dropped, so SL013 under-approximates; the local SL001/SL002 rules
+remain the per-call-site net.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.devtools.simlint.index import ProjectIndex
+
+ENTRY_POINTS = ("repro.simkernel.kernel.Simulator.run",)
+"""Call-graph roots besides spawned process coroutines."""
+
+
+class SinkFinding(typing.NamedTuple):
+    """One SL013 violation, located at the sink call."""
+
+    path: str
+    line: int
+    col: int
+    message: str
+
+
+class CallGraph:
+    """Resolved edges over every indexed function."""
+
+    def __init__(self, project: "ProjectIndex") -> None:
+        self.project = project
+        self.functions = project.function_table()
+        self.classes = project.class_table()
+        self.edges: dict[str, list[str]] = {}
+        for name in self.functions:
+            self.edges[name] = self._resolve_edges(name)
+
+    # -- resolution --------------------------------------------------------
+
+    def _method_lookup(self, class_ref: str, method: str) -> str | None:
+        """Find ``method`` on ``class_ref`` or its declared bases."""
+        seen: set[str] = set()
+        queue = [class_ref]
+        while queue:
+            ref = queue.pop(0)
+            if ref in seen:
+                continue
+            seen.add(ref)
+            candidate = f"{ref}.{method}"
+            if candidate in self.functions:
+                return candidate
+            fact = self.classes.get(ref)
+            if fact:
+                queue.extend(fact["bases"])
+        return None
+
+    def resolve_ref(self, fact: dict) -> str | None:
+        """A call fact's target function qualname, if resolvable."""
+        ref = fact["ref"]
+        via = fact["via"]
+        if via == "direct":
+            if ref in self.functions:
+                return ref
+            if ref in self.classes:  # constructor call
+                return self._method_lookup(ref, "__init__")
+            return None
+        if via in ("method", "call"):
+            owner, _, attr = ref.rpartition(".")
+            if via == "call":  # calling a typed variable: its __call__
+                return self._method_lookup(ref, "__call__")
+            if owner:
+                return self._method_lookup(owner, attr)
+        return None
+
+    def _resolve_edges(self, name: str) -> list[str]:
+        _, _, fact = self.functions[name]
+        out = []
+        for call in fact["calls"]:
+            target = self.resolve_ref(call)
+            if target is not None and target != name:
+                out.append(target)
+        return sorted(set(out))
+
+    # -- entry points ------------------------------------------------------
+
+    def entry_points(self) -> list[str]:
+        entries = [e for e in ENTRY_POINTS if e in self.functions]
+        for index in sorted(
+            self.project.modules.values(), key=lambda m: m.path
+        ):
+            for spawn in index.spawns:
+                target = self.resolve_ref(spawn)
+                if target is not None:
+                    entries.append(target)
+        return sorted(set(entries))
+
+    # -- reachability ------------------------------------------------------
+
+    def reachable(self, entries: typing.Sequence[str]) -> dict[str, str | None]:
+        """BFS parent map over the edge set: function -> caller (None for
+        an entry point).  BFS from sorted entries gives each function its
+        shortest, deterministically-chosen witness chain."""
+        parent: dict[str, str | None] = {}
+        queue: list[str] = []
+        for entry in entries:
+            if entry not in parent:
+                parent[entry] = None
+                queue.append(entry)
+        while queue:
+            node = queue.pop(0)
+            for target in self.edges.get(node, ()):
+                if target not in parent:
+                    parent[target] = node
+                    queue.append(target)
+        return parent
+
+    def chain(self, parent: dict[str, str | None], node: str) -> list[str]:
+        path = [node]
+        while parent[path[-1]] is not None:
+            path.append(parent[path[-1]])  # type: ignore[arg-type]
+        return list(reversed(path))
+
+
+def check_reachability(
+    project: "ProjectIndex",
+    sink_files: typing.AbstractSet[str],
+) -> list[SinkFinding]:
+    """All SL013 findings.
+
+    ``sink_files`` restricts which files' sinks count (strict-profile
+    files; relaxed test/benchmark code may touch clocks freely, and the
+    rng module/devtools never register sinks at index time).
+    """
+    graph = CallGraph(project)
+    entries = graph.entry_points()
+    if not entries:
+        return []
+    parent = graph.reachable(entries)
+
+    findings: list[SinkFinding] = []
+    seen: set[tuple[str, int, int]] = set()
+    for name in sorted(parent):
+        index, _, fact = graph.functions[name]
+        if index.path not in sink_files:
+            continue
+        for sink in fact["sinks"]:
+            site = (index.path, sink["line"], sink["col"])
+            if site in seen:
+                continue
+            seen.add(site)
+            chain = " -> ".join(graph.chain(parent, name))
+            findings.append(
+                SinkFinding(
+                    index.path,
+                    sink["line"],
+                    sink["col"],
+                    f"{sink['qual']}() is reachable from the simulation "
+                    f"({'wall clock' if sink['kind'] == 'wallclock' else 'unseeded RNG'}); "
+                    f"call chain: {chain} -> {sink['qual']}",
+                )
+            )
+    return findings

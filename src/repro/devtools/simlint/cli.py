@@ -2,6 +2,12 @@
 
 Exit codes: 0 clean, 1 findings reported, 2 operational errors (bad
 arguments, unreadable or unparseable files).
+
+Incremental mode (``--changed``) loads the content-hash cache at
+``--cache-path`` (default ``build/simlint-cache.json``), re-analyzes only
+files whose hash or rule-set fingerprint changed, and writes the cache
+back.  Findings are always identical to a cold run: only phase 1 is
+cached; the cross-module phase recomputes every time.
 """
 
 from __future__ import annotations
@@ -9,18 +15,21 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 import typing
 
-from repro.devtools.simlint.analyzer import lint_paths
+from repro.devtools.simlint.analyzer import Report, lint_project
+from repro.devtools.simlint.cache import DEFAULT_CACHE_PATH, ResultCache
 from repro.devtools.simlint.rules import RULES
+from repro.devtools.simlint.sarif import render_sarif
 
 
-def main(argv: typing.Sequence[str] | None = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="simlint",
         description=(
-            "Determinism & simulation-safety static analysis for the "
-            "RootHammer reproduction (rules SL001-SL006)."
+            "Determinism & architecture static analysis for the "
+            "RootHammer reproduction (rules SL001-SL015)."
         ),
     )
     parser.add_argument(
@@ -28,9 +37,14 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--rules",
@@ -38,8 +52,95 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         help="only report these rules (default: all)",
     )
     parser.add_argument(
+        "--profile",
+        choices=("auto", "strict", "relaxed"),
+        default="auto",
+        help=(
+            "rule profile: auto derives it per path (tests/ and "
+            "benchmarks/ relax), strict/relaxed force one everywhere"
+        ),
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="incremental mode: reuse cached results for unchanged files",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the cache (overrides --changed)",
+    )
+    parser.add_argument(
+        "--cache-path",
+        default=DEFAULT_CACHE_PATH,
+        metavar="FILE",
+        help=f"cache location (default: {DEFAULT_CACHE_PATH})",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the suppression-debt / cache report after linting",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="describe the rules and exit"
     )
+    return parser
+
+
+def _print_stats(report: Report, elapsed: float, out: typing.TextIO) -> None:
+    stats = report.stats
+    print("-- simlint stats " + "-" * 43, file=out)
+    print(
+        f"files analyzed        {stats['files']}"
+        f"  ({elapsed:.2f}s)",
+        file=out,
+    )
+    cache = stats.get("cache")
+    if cache is not None:
+        print(
+            f"cache                 {cache['hits']} hit(s), "
+            f"{cache['misses']} miss(es)",
+            file=out,
+        )
+    print(f"findings              {stats['findings']}", file=out)
+    print(
+        f"suppressed findings   {stats['suppressed']}"
+        + (
+            "  ("
+            + ", ".join(
+                f"{rule}: {n}"
+                for rule, n in stats["suppressed_by_rule"].items()
+            )
+            + ")"
+            if stats["suppressed_by_rule"]
+            else ""
+        ),
+        file=out,
+    )
+    print(
+        f"suppression comments  {stats['directives']}"
+        f"  ({stats['stale_directives']} stale)",
+        file=out,
+    )
+    exempt = stats["exempt_imports"]
+    print(
+        "layering exemptions   "
+        f"{exempt['typing']} TYPE_CHECKING import(s), "
+        f"{exempt['lazy']} lazy import(s)",
+        file=out,
+    )
+    if stats["by_file"]:
+        print("suppression debt by file:", file=out)
+        for path, row in stats["by_file"].items():
+            print(
+                f"  {path}: {row['directives']} comment(s), "
+                f"{row['suppressed']} finding(s) suppressed",
+                file=out,
+            )
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -56,34 +157,69 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         if unknown:
             parser.error(f"unknown rule(s): {', '.join(sorted(unknown))}")
 
-    findings, errors, suppressed = lint_paths(args.paths)
+    cache = None
+    if args.changed and not args.no_cache:
+        cache = ResultCache.load(args.cache_path)
+
+    profile = None if args.profile == "auto" else args.profile
+    started = time.perf_counter()
+    report = lint_project(args.paths, profile=profile, cache=cache)
+    elapsed = time.perf_counter() - started
+    if cache is not None:
+        cache.prune(set())
+        cache.store(args.paths)
+
+    findings = report.findings
     if selected is not None:
         findings = [f for f in findings if f.rule in selected]
+    errors = report.errors
 
-    if args.format == "json":
-        print(
-            json.dumps(
-                {
-                    "findings": [f.as_dict() for f in findings],
-                    "errors": [
-                        {"path": e.path, "message": e.message} for e in errors
-                    ],
-                    "suppressed": suppressed,
-                },
-                indent=2,
+    out = sys.stdout
+    if args.output:
+        out = open(args.output, "w", encoding="utf-8")
+    try:
+        if args.format == "json":
+            print(
+                json.dumps(
+                    {
+                        "findings": [f.as_dict() for f in findings],
+                        "errors": [
+                            {"path": e.path, "message": e.message}
+                            for e in errors
+                        ],
+                        "suppressed": report.suppressed,
+                        "stats": report.stats,
+                    },
+                    indent=2,
+                ),
+                file=out,
             )
-        )
-    else:
-        for finding in findings:
-            print(finding.render())
-        for error in errors:
-            print(f"{error.path}: error: {error.message}", file=sys.stderr)
-        summary = f"{len(findings)} finding(s)"
-        if suppressed:
-            summary += f", {suppressed} suppression comment(s) in effect"
-        if errors:
-            summary += f", {len(errors)} file error(s)"
-        print(summary)
+        elif args.format == "sarif":
+            print(render_sarif(findings, errors), file=out)
+        else:
+            for finding in findings:
+                print(finding.render(), file=out)
+            for error in errors:
+                print(f"{error.path}: error: {error.message}", file=sys.stderr)
+            summary = f"{len(findings)} finding(s)"
+            if report.suppressed:
+                summary += (
+                    f", {report.suppressed} suppression comment(s) in effect"
+                )
+            if errors:
+                summary += f", {len(errors)} file error(s)"
+            print(summary, file=out)
+    finally:
+        if args.output:
+            out.close()
+
+    if args.stats:
+        # Keep machine-readable stdout clean: stats go to stderr unless the
+        # report itself went to a file.
+        stats_out = sys.stdout if args.output else sys.stderr
+        if args.format == "text" and not args.output:
+            stats_out = sys.stdout
+        _print_stats(report, elapsed, stats_out)
 
     if errors:
         return 2

@@ -1,0 +1,244 @@
+"""The declared layer map and the SL011 layering/cycle checker.
+
+:data:`DEFAULT_LAYER_MAP` is the architecture contract for the ``repro``
+package, derived from (and now enforcing) the measured import structure:
+
+======  =============  ====================================================
+level   layer          packages
+======  =============  ====================================================
+0       foundation     ``repro`` root, ``_version``, ``errors``, ``units``,
+                       ``config``, ``jobs``, ``simkernel``, ``memory``
+1       hardware       ``hardware``
+2       platform       ``vmm``, ``guest``
+3       host           ``core``, ``workloads``, ``aging``, ``analysis``
+4       control        ``cluster``
+5       orchestration  ``scenario``, ``fleet``
+6       application    ``experiments``
+7       devtools       ``devtools``
+======  =============  ====================================================
+
+A module may import (at module level) from its own layer or any layer
+*below* it; an import that points upward is an SL011 finding, as is a
+``repro`` subpackage missing from the map entirely (new packages must
+declare their layer here) and any module-level import cycle.  Two escape
+hatches are exempt by design and visible in ``--stats`` instead:
+
+* ``if TYPE_CHECKING:`` imports — no runtime edge, no cycle, annotations
+  only;
+* function-level lazy imports — they cannot create an import cycle and
+  mark a deliberate, reviewed boundary crossing (e.g. the analysis
+  self-check driver building a testbed).  SL013's call graph still sees
+  through them for determinism sinks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.devtools.simlint.index import ProjectIndex
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerMap:
+    """Ordered layers (lowest first), each naming its packages."""
+
+    layers: tuple[tuple[str, frozenset[str]], ...]
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: typing.Sequence[tuple[str, typing.Iterable[str]]]
+    ) -> "LayerMap":
+        return cls(tuple((name, frozenset(pkgs)) for name, pkgs in pairs))
+
+    def level_of(self, package: str) -> int | None:
+        for level, (_, packages) in enumerate(self.layers):
+            if package in packages:
+                return level
+        return None
+
+    def layer_name(self, package: str) -> str | None:
+        for name, packages in self.layers:
+            if package in packages:
+                return name
+        return None
+
+
+DEFAULT_LAYER_MAP = LayerMap.from_pairs(
+    [
+        (
+            "foundation",
+            [
+                "",
+                "_version",
+                "errors",
+                "units",
+                "config",
+                "jobs",
+                "simkernel",
+                "memory",
+            ],
+        ),
+        ("hardware", ["hardware"]),
+        ("platform", ["vmm", "guest"]),
+        ("host", ["core", "workloads", "aging", "analysis"]),
+        ("control", ["cluster"]),
+        ("orchestration", ["scenario", "fleet"]),
+        ("application", ["experiments"]),
+        ("devtools", ["devtools"]),
+    ]
+)
+
+
+class LayerFinding(typing.NamedTuple):
+    """One SL011 violation, located at an import statement."""
+
+    path: str
+    line: int
+    col: int
+    message: str
+
+
+def check_layers(
+    project: "ProjectIndex", layer_map: LayerMap = DEFAULT_LAYER_MAP
+) -> list[LayerFinding]:
+    """All SL011 findings for a project: upward imports, unmapped
+    packages, and module-level import cycles."""
+    from repro.devtools.simlint.index import package_of
+
+    findings: list[LayerFinding] = []
+    modules = project.by_module()
+
+    for index in sorted(project.modules.values(), key=lambda m: m.path):
+        package = index.package
+        if package is None:
+            continue  # outside the repro namespace: unmapped by design
+        level = layer_map.level_of(package)
+        if level is None:
+            findings.append(
+                LayerFinding(
+                    index.path,
+                    1,
+                    0,
+                    f"package 'repro.{package}' is not declared in the "
+                    "layer map (repro.devtools.simlint.layers); new "
+                    "packages must declare their layer",
+                )
+            )
+            continue
+        for fact in index.imports:
+            if fact["kind"] != "top":
+                continue
+            target_pkg = package_of(fact["module"])
+            if target_pkg is None or target_pkg == package:
+                continue
+            target_level = layer_map.level_of(target_pkg)
+            if target_level is None:
+                continue  # reported once at the defining module
+            if target_level > level:
+                findings.append(
+                    LayerFinding(
+                        index.path,
+                        fact["line"],
+                        0,
+                        f"layering violation: '{layer_map.layer_name(package)}' "
+                        f"module imports 'repro.{target_pkg}' from the higher "
+                        f"'{layer_map.layer_name(target_pkg)}' layer; invert "
+                        "the dependency or move the shared code down "
+                        "(TYPE_CHECKING/lazy imports are exempt)",
+                    )
+                )
+
+    findings.extend(_check_cycles(project, modules))
+    return findings
+
+
+def _check_cycles(
+    project: "ProjectIndex", modules: dict
+) -> list[LayerFinding]:
+    """Module-level import cycles (Tarjan over the top-level import graph).
+
+    Working code rarely has them — Python would fail at import time —
+    but partially-lazy cycles regrow silently, and a cycle makes layer
+    assignment meaningless, so any strongly-connected component bigger
+    than one module is an error.
+    """
+    graph: dict[str, list[str]] = {}
+    lines: dict[tuple[str, str], int] = {}
+    for name, index in modules.items():
+        edges = []
+        for fact in index.imports:
+            if fact["kind"] != "top":
+                continue
+            for target in project.resolve_import_module(fact):
+                if target in modules and target != name:
+                    edges.append(target)
+                    lines.setdefault((name, target), fact["line"])
+        graph[name] = sorted(set(edges))
+
+    findings: list[LayerFinding] = []
+    for component in _strongly_connected(graph):
+        if len(component) < 2:
+            continue
+        cycle = sorted(component)
+        first = modules[cycle[0]]
+        nxt = next(t for t in graph[cycle[0]] if t in component)
+        findings.append(
+            LayerFinding(
+                first.path,
+                lines.get((cycle[0], nxt), 1),
+                0,
+                "module-level import cycle: " + " <-> ".join(cycle),
+            )
+        )
+    return findings
+
+
+def _strongly_connected(graph: dict[str, list[str]]) -> list[list[str]]:
+    """Iterative Tarjan SCC over a sorted adjacency mapping."""
+    index_counter = [0]
+    stack: list[str] = []
+    on_stack: dict[str, bool] = {}
+    indices: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    result: list[list[str]] = []
+
+    for root in sorted(graph):
+        if root in indices:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_i = work[-1]
+            if child_i == 0:
+                indices[node] = lowlink[node] = index_counter[0]
+                index_counter[0] += 1
+                stack.append(node)
+                on_stack[node] = True
+            recurse = False
+            children = graph.get(node, [])
+            for i in range(child_i, len(children)):
+                child = children[i]
+                if child not in indices:
+                    work[-1] = (node, i + 1)
+                    work.append((child, 0))
+                    recurse = True
+                    break
+                if on_stack.get(child):
+                    lowlink[node] = min(lowlink[node], indices[child])
+            if recurse:
+                continue
+            work.pop()
+            if lowlink[node] == indices[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return result

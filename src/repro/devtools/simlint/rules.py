@@ -1,18 +1,24 @@
-"""The simlint rule engine: one AST walk, nine codebase-specific rules.
+"""The simlint rule engine: the local (single-file) rules.
 
-Every rule is deliberately *syntactic and local* — no type inference, no
-cross-module resolution — so findings are cheap to verify by eye and the
-linter stays dependency-free.  Where a rule needs declared facts (SL006's
-payload schema, SL008's span/metric registries) they live next to the
-code they describe (:data:`repro.simkernel.tracing.TRACE_SCHEMA`,
+The local rules are deliberately *syntactic* — no type inference — so
+findings are cheap to verify by eye and the linter stays dependency-free.
+Where a rule needs declared facts (SL006's payload schema, SL008's
+span/metric registries) they live next to the code they describe
+(:data:`repro.simkernel.tracing.TRACE_SCHEMA`,
 :data:`repro.simkernel.spans.SPAN_NAMES`,
-:data:`repro.simkernel.metrics.METRIC_SCHEMA`), not here.
+:data:`repro.simkernel.metrics.METRIC_SCHEMA`), not here.  The
+cross-module rules (SL011–SL015) run in phase 2 over the project index
+(:mod:`.index`, :mod:`.layers`, :mod:`.callgraph`, :mod:`.analyzer`);
+this module still hosts their registry entries, the shared sink
+classifier, and the privacy-rule implementation that SL009/SL010/SL014
+are all thin code aliases over.
 """
 
 from __future__ import annotations
 
 import ast
 import dataclasses
+import re
 import typing
 
 RULES: dict[str, str] = {
@@ -26,7 +32,32 @@ RULES: dict[str, str] = {
     "SL008": "unregistered span/metric name, or hand-written span record",
     "SL009": "scheduler-backend internals accessed outside repro/simkernel",
     "SL010": "fleet/shard internals accessed outside repro/fleet",
+    "SL011": "import violates the declared layer map (or forms a cycle)",
+    "SL012": "frozen spec dataclass mutated outside __post_init__",
+    "SL013": "wall-clock/unseeded-RNG sink reachable from the simulation",
+    "SL014": "cross-package private-attribute access",
+    "SL015": "stale simlint suppression (masks no finding)",
 }
+
+RELAXED_DISABLED: frozenset[str] = frozenset(
+    {
+        "SL001",  # timing real work is what test/bench harnesses do
+        "SL002",  # tests may draw throwaway randomness
+        "SL003",  # assertion order on small sets is the test's business
+        "SL005",  # bare asserts are pytest's native idiom
+        "SL006",  # trace-parser tests hand-craft invalid payloads
+        "SL008",  # span/metric-registry tests probe unregistered names
+        "SL009",  # white-box backend tests inspect internals on purpose
+        "SL010",  # fleet tests reach into shards to verify isolation
+        "SL013",  # sinks in test/bench files are measurement, not sim code
+        "SL014",  # white-box tests may read privates cross-package
+    }
+)
+"""Rules the *relaxed* profile (tests/, benchmarks/) turns off.
+
+What stays enforced everywhere: SL004 (scheduler-storage pushes), SL011
+(layering/cycles), SL012 (frozen-spec mutation), SL007 and SL015.
+"""
 
 # SL001 — anything that reads the host clock.  Simulated components must
 # derive time from ``sim.now``; only driver/CLI modules may time *real*
@@ -91,16 +122,73 @@ _METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram"})
 # tiebreaker that backend-equivalence rests on.
 _BACKEND_STRUCTS = frozenset({"_heap", "_run", "_far"})
 
-# SL009 — receivers that denote a scheduler backend: ``sim.backend``,
-# ``sim._backend``, or a local so named.
-_BACKEND_RECEIVERS = frozenset({"backend", "_backend"})
+# The privacy rule (SL014, with SL009/SL010 as package-specific code
+# aliases): private-attribute access is a finding when the receiver's
+# owning package differs from the accessing module's package.  Receivers
+# are resolved two ways — by declared *alias names* below (a receiver
+# spelled ``backend``/``_backend`` denotes a scheduler backend wherever
+# it appears, with no project index needed), and in phase 2 by the symbol
+# table (parameter annotations / constructor assignments pin the class,
+# the class pins the package).  One implementation, one code mapping:
+PRIVACY_ALIASES: dict[str, str] = {
+    "backend": "simkernel",
+    "_backend": "simkernel",
+    "fleet": "fleet",
+    "_fleet": "fleet",
+    "shard": "fleet",
+    "_shard": "fleet",
+}
+"""Receiver name -> owning ``repro`` subpackage."""
 
-# SL010 — receivers that denote a fleet or one of its shards.  A shard is
-# one process's private simulation: the only cross-shard state is the
-# plain-dict plan/payload protocol in repro/fleet, so any other module
-# reaching into a fleet/shard object's privates is smuggling shared
-# objects across what must stay a process boundary.
-_FLEET_RECEIVERS = frozenset({"fleet", "_fleet", "shard", "_shard"})
+_PRIVACY_CODES: dict[str, str] = {"simkernel": "SL009", "fleet": "SL010"}
+
+
+def privacy_code(owner_package: str) -> str:
+    """The reported rule code for a privacy violation against a package.
+
+    The historical SL009/SL010 codes are kept for the two boundaries they
+    named; every other package boundary reports the general SL014.
+    """
+    return _PRIVACY_CODES.get(owner_package, "SL014")
+
+
+def privacy_message(owner_package: str, attr: str) -> str:
+    if owner_package == "simkernel":
+        return (
+            f"backend-private attribute {attr!r} accessed outside "
+            "repro/simkernel; go through the SchedulerBackend "
+            "interface (pending()/storage_size()/peek()/compact())"
+        )
+    if owner_package == "fleet":
+        return (
+            f"fleet/shard-private attribute {attr!r} accessed "
+            "outside repro/fleet; shards share state only through the "
+            "plan/payload dict protocol (FleetSpec.shard_plans / "
+            "run_fleet_shard)"
+        )
+    return (
+        f"private attribute {attr!r} of a repro.{owner_package} class "
+        "accessed from another package; use (or add) a public accessor "
+        "on the owning class"
+    )
+
+
+def sink_kind(qual: str, has_args: bool) -> str | None:
+    """Classify a resolved call as a determinism sink (shared by SL001/
+    SL002 locally and SL013's call-graph pass).
+
+    ``"wallclock"`` for any host-clock read (monotonic included — from
+    simulation-reachable code even elapsed-time reads break bit
+    determinism), ``"rng"`` for global-state randomness or an unseeded
+    generator construction, else None.
+    """
+    if qual in _WALL_CLOCK:
+        return "wallclock"
+    if qual.startswith("random.") or qual.startswith("numpy.random."):
+        if qual in _SEEDABLE and has_args:
+            return None  # explicitly seeded construction
+        return "rng"
+    return None
 
 # SL007 — stack entry points experiment modules must not call directly.
 # Experiments build their testbeds through the declarative scenario layer
@@ -109,9 +197,30 @@ _FLEET_RECEIVERS = frozenset({"fleet", "_fleet", "shard", "_shard"})
 _STACK_ENTRYPOINTS = frozenset({"RootHammer", "Cluster", "Host"})
 
 
+_PACKAGE_RE = re.compile(r"(?:^|/)repro/(?:([a-z_]+)/|([a-z_0-9]+)\.py$)")
+
+_RELAXED_MARKERS = ("tests/", "benchmarks/")
+
+
+def profile_for_path(path: str) -> str:
+    """``"relaxed"`` for test/benchmark trees, else ``"strict"``."""
+    norm = path.replace("\\", "/")
+    for marker in _RELAXED_MARKERS:
+        if norm.startswith(marker) or f"/{marker}" in norm:
+            return "relaxed"
+    return "strict"
+
+
 @dataclasses.dataclass(frozen=True)
 class ModulePolicy:
-    """Which rules apply to one file, derived from its path."""
+    """Which rules apply to one file, derived from its path.
+
+    ``profile`` selects the enforcement tier: ``"strict"`` (library code
+    under ``src/``) runs every rule; ``"relaxed"`` (``tests/``,
+    ``benchmarks/``) drops the rules in :data:`RELAXED_DISABLED` while
+    keeping layering, frozen-spec mutation, scheduler-storage pushes and
+    stale-suppression hygiene enforced.
+    """
 
     is_rng_module: bool = False  # simkernel/rng.py: SL002 exempt
     is_heap_owner: bool = False  # simkernel kernel/events/backends: SL004 exempt
@@ -119,12 +228,19 @@ class ModulePolicy:
     is_devtools: bool = False  # not simulation code: SL001-SL003 exempt
     is_experiment: bool = False  # repro/experiments/: SL007 applies
     is_span_owner: bool = False  # simkernel/spans.py: may write span.* records
-    is_simkernel: bool = False  # repro/simkernel/: SL009 exempt
-    is_fleet: bool = False  # repro/fleet/: SL010 exempt
+    package: str | None = None  # repro subpackage, for the privacy rule
+    profile: str = "strict"
+
+    def enabled(self, rule: str) -> bool:
+        if self.profile == "relaxed" and rule in RELAXED_DISABLED:
+            return False
+        return True
 
     @classmethod
-    def for_path(cls, path: str) -> "ModulePolicy":
+    def for_path(cls, path: str, profile: str | None = None) -> "ModulePolicy":
         norm = path.replace("\\", "/")
+        match = _PACKAGE_RE.search(norm)
+        package = (match.group(1) or match.group(2)) if match else None
         return cls(
             is_rng_module=norm.endswith("simkernel/rng.py"),
             is_heap_owner=norm.endswith("simkernel/kernel.py")
@@ -133,12 +249,13 @@ class ModulePolicy:
             is_driver=norm.endswith("experiments/cli.py")
             or norm.endswith("experiments/parallel.py")
             or norm.endswith("fleet/cli.py")
-            or norm.endswith("fleet/runner.py"),
+            or norm.endswith("fleet/runner.py")
+            or norm.endswith("repro/jobs.py"),
             is_devtools="repro/devtools/" in norm,
             is_experiment="repro/experiments/" in norm,
             is_span_owner=norm.endswith("simkernel/spans.py"),
-            is_simkernel="repro/simkernel/" in norm,
-            is_fleet="repro/fleet/" in norm,
+            package=package,
+            profile=profile if profile is not None else profile_for_path(norm),
         )
 
 
@@ -300,6 +417,8 @@ class RuleVisitor(ast.NodeVisitor):
         return self.findings
 
     def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        if not self.policy.enabled(rule):
+            return
         self.findings.append(
             RawFinding(rule, node.lineno, node.col_offset, message)
         )
@@ -376,54 +495,29 @@ class RuleVisitor(ast.NodeVisitor):
                 )
         self.generic_visit(node)
 
-    # -- SL009: backend internals stay inside repro/simkernel --------------
+    # -- the privacy rule, alias half (SL009/SL010 over receiver names) ----
+    # The symbol-table half (SL014 over annotated/constructed receivers)
+    # runs in phase 2 (analyzer._resolve_private_candidates); both halves
+    # share privacy_code()/privacy_message() — one rule, three codes.
 
     @staticmethod
-    def _receiver_is_backend(value: ast.expr) -> bool:
-        """True when an attribute's receiver denotes a scheduler backend."""
+    def _receiver_alias(value: ast.expr) -> str | None:
+        """Owning package when the receiver is a declared alias name."""
         if isinstance(value, ast.Attribute):
-            return value.attr in _BACKEND_RECEIVERS
+            return PRIVACY_ALIASES.get(value.attr)
         if isinstance(value, ast.Name):
-            return value.id in _BACKEND_RECEIVERS
-        return False
-
-    @staticmethod
-    def _receiver_is_fleet(value: ast.expr) -> bool:
-        """True when an attribute's receiver denotes a fleet or shard."""
-        if isinstance(value, ast.Attribute):
-            return value.attr in _FLEET_RECEIVERS
-        if isinstance(value, ast.Name):
-            return value.id in _FLEET_RECEIVERS
-        return False
+            return PRIVACY_ALIASES.get(value.id)
+        return None
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
-        if (
-            not self.policy.is_simkernel
-            and node.attr.startswith("_")
-            and not node.attr.startswith("__")
-            and self._receiver_is_backend(node.value)
-        ):
-            self._emit(
-                "SL009",
-                node,
-                f"backend-private attribute {node.attr!r} accessed outside "
-                "repro/simkernel; go through the SchedulerBackend "
-                "interface (pending()/storage_size()/peek()/compact())",
-            )
-        if (
-            not self.policy.is_fleet
-            and node.attr.startswith("_")
-            and not node.attr.startswith("__")
-            and self._receiver_is_fleet(node.value)
-        ):
-            self._emit(
-                "SL010",
-                node,
-                f"fleet/shard-private attribute {node.attr!r} accessed "
-                "outside repro/fleet; shards share state only through the "
-                "plan/payload dict protocol (FleetSpec.shard_plans / "
-                "run_fleet_shard)",
-            )
+        if node.attr.startswith("_") and not node.attr.startswith("__"):
+            owner = self._receiver_alias(node.value)
+            if owner is not None and owner != self.policy.package:
+                self._emit(
+                    privacy_code(owner),
+                    node,
+                    privacy_message(owner, node.attr),
+                )
         self.generic_visit(node)
 
     def _check_wall_clock(self, node: ast.Call, qual: str) -> None:

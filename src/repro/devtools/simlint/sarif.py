@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 rendering for CI code-scanning upload.
+
+Hand-rolled against the published schema shape (no dependency on a
+validator): one run, one driver, one ``reportingDescriptor`` per registered
+rule, one ``result`` per finding with a physical location.  Regions use
+SARIF's 1-based ``startColumn``; simlint columns are 0-based AST offsets,
+converted here (the text renderer in :mod:`.analyzer` does the same).
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.devtools.simlint.rules import RULES
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.devtools.simlint.analyzer import Finding, LintError
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _tool_component() -> dict:
+    return {
+        "name": "simlint",
+        "informationUri": "https://example.invalid/repro/simlint",
+        "rules": [
+            {
+                "id": rule,
+                "shortDescription": {"text": summary},
+                "defaultConfiguration": {"level": "error"},
+            }
+            for rule, summary in sorted(RULES.items())
+        ],
+    }
+
+
+def _result(finding: "Finding") -> dict:
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def _notification(error: "LintError") -> dict:
+    return {
+        "level": "error",
+        "message": {"text": error.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": error.path},
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(
+    findings: typing.Sequence["Finding"],
+    errors: typing.Sequence["LintError"] = (),
+) -> dict:
+    """The findings as a SARIF 2.1.0 log object (JSON-serializable)."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": _tool_component()},
+                "results": [_result(f) for f in findings],
+                "invocations": [
+                    {
+                        "executionSuccessful": not errors,
+                        "toolExecutionNotifications": [
+                            _notification(e) for e in errors
+                        ],
+                    }
+                ],
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: typing.Sequence["Finding"],
+    errors: typing.Sequence["LintError"] = (),
+) -> str:
+    """The SARIF log as an indented JSON string."""
+    return json.dumps(to_sarif(findings, errors), indent=2, sort_keys=True)

@@ -3,16 +3,12 @@
 The evaluation sweep is embarrassingly parallel at the *cell* level: one
 cell is one deterministically-seeded testbed plus one simulation (e.g.
 "FIG5, 7 VMs, xen-save"), so its payload depends only on its parameters
-and the code — never on which process runs it or in what order.  This
-module exploits that twice:
-
-* **fan-out** — cells from *all* requested experiments are pooled and
-  fanned across a :class:`~concurrent.futures.ProcessPoolExecutor`, so a
-  long cell from one experiment overlaps short cells from another;
-* **memoisation** — each payload is stored in a content-addressed cache
-  keyed on the cell's function, its parameters, the timing-profile
-  fingerprint and a hash of the package source, so re-running a sweep
-  recomputes only cells whose inputs actually changed.
+and the code — never on which process runs it or in what order.  The
+generic machinery — :class:`~repro.jobs.Cell`, the process pool, the
+content-addressed payload cache — lives in :mod:`repro.jobs` at the
+foundation layer (the fleet tier rides on it too); this module is the
+experiment-facing tier on top: it decomposes experiment and scenario
+runs into cell plans and assembles payloads back into results.
 
 Experiments that are not cell-decomposed (they expose no ``cells``/
 ``assemble`` pair) degrade gracefully to a single whole-run cell, which
@@ -23,114 +19,37 @@ Equivalence with the serial path is by construction: the serial runner
 cell functions and the *same* ``assemble``; the tests in
 ``tests/experiments/test_parallel.py`` assert bit-identical rows across
 serial, parallel and cached runs.
+
+The moved machinery is re-exported here under its historical names, so
+existing imports (``from repro.experiments.parallel import Cell``) keep
+working.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
-import os
-import pickle
 import typing
-from concurrent.futures import Future, ProcessPoolExecutor
-from pathlib import Path
 
-import repro
-from repro.config import paper_testbed
 from repro.errors import ReproError
 from repro.experiments import experiment_ids, runner_module
 from repro.experiments.common import ExperimentResult
+from repro.jobs import (  # noqa: F401 - re-exported for back-compat
+    Cell,
+    SweepStats,
+    _cache_load,
+    _cache_store,
+    _env_fingerprint,
+    _execute_cell,
+    _profile_fingerprint,
+    _resolve_jobs,
+    _run_cells,
+    cache_dir,
+    clear_cache,
+    code_version,
+    run_cells,
+)
 
 _WHOLE = "__whole_run__"
 """Cell key marking a non-decomposed experiment run as a single unit."""
-
-_CACHE_VERSION = 2
-"""Bump to invalidate every cached payload at once.
-
-2: workload mode/sessions/tick entered the scenario spec schema and the
-kernel backend/horizon entered the digest material; payloads keyed under
-version 1 predate both and must never alias the new cells.
-"""
-
-
-@dataclasses.dataclass(frozen=True, eq=False)
-class Cell:
-    """One independent measurement: a function call on a fresh testbed."""
-
-    experiment_id: str
-    key: tuple
-    fn: str
-    """``"module:function"`` — resolvable in a worker process."""
-    params: dict[str, typing.Any]
-
-    def digest(self, full: bool) -> str:
-        """Content address of this cell's payload.
-
-        Two cells share a digest only if they would compute the same
-        payload: same function, same parameters, same timing profile,
-        same package source and the same ambient kernel configuration
-        (scheduler backend + horizon — environment knobs a cell's worker
-        inherits, so flipping them must never replay a stale payload).
-        ``repr`` of the sorted parameter items is stable because cell
-        parameters are ints/floats/strs/bools (and, for spec cells,
-        canonically ordered dicts of those).
-        """
-        material = repr(
-            (
-                _CACHE_VERSION,
-                self.fn,
-                sorted(self.params.items()),
-                bool(full),
-                _profile_fingerprint(),
-                _env_fingerprint(),
-                code_version(),
-            )
-        )
-        return hashlib.sha256(material.encode("utf-8")).hexdigest()
-
-
-def _profile_fingerprint() -> str:
-    """The default timing profile, as cache-key material.
-
-    ``TimingProfile`` is a frozen dataclass tree of scalars, so its repr
-    captures every calibrated constant an experiment can observe.
-    """
-    return repr(paper_testbed())
-
-
-def _env_fingerprint() -> str:
-    """Ambient kernel knobs worker processes inherit, as cache-key material.
-
-    The scheduler backend contract says results never depend on the
-    backend — but the cache must not *assume* the contract holds: a
-    payload computed under one backend/horizon must never satisfy a
-    lookup made under another, or a contract violation would be masked
-    by replay instead of caught by the differential tests.
-    """
-    return repr(
-        (
-            os.environ.get("REPRO_KERNEL_BACKEND") or "reference",
-            os.environ.get("REPRO_KERNEL_HORIZON") or "",
-        )
-    )
-
-
-_code_version: str | None = None
-
-
-def code_version() -> str:
-    """A hash over the ``repro`` package source (cache-key material)."""
-    global _code_version
-    if _code_version is None:
-        root = Path(repro.__file__).resolve().parent
-        h = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
-            h.update(str(path.relative_to(root)).encode("utf-8"))
-            h.update(b"\0")
-            h.update(path.read_bytes())
-            h.update(b"\0")
-        _code_version = h.hexdigest()
-    return _code_version
 
 
 # -- the cell plan -----------------------------------------------------------------
@@ -173,163 +92,7 @@ def _assemble(
     return payloads[(_WHOLE,)]
 
 
-def _execute_cell(fn: str, params: dict[str, typing.Any]) -> typing.Any:
-    """Worker-side cell execution (top level, so it pickles)."""
-    import importlib
-
-    module_name, _, attr = fn.partition(":")
-    module = importlib.import_module(module_name)
-    return getattr(module, attr)(**params)
-
-
-# -- the result cache --------------------------------------------------------------
-
-
-def cache_dir() -> Path:
-    """Where payloads live: ``$REPRO_CACHE_DIR`` or a user-cache default."""
-    env = os.environ.get("REPRO_CACHE_DIR")
-    if env:
-        return Path(env)
-    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.expanduser("~/.cache")
-    return Path(xdg) / "repro-experiments"
-
-
-def _cache_path(digest: str) -> Path:
-    # Shard by the first byte to keep directory listings manageable.
-    return cache_dir() / digest[:2] / f"{digest}.pkl"
-
-
-def _cache_load(digest: str) -> tuple[bool, typing.Any]:
-    """(hit, payload); unreadable or corrupt entries are just misses.
-
-    Deliberately catches every Exception: depending on which opcode the
-    corruption lands on, unpickling garbage raises UnpicklingError,
-    EOFError, ValueError, UnicodeDecodeError, ImportError...  A cache
-    read must never be able to fail a sweep.
-    """
-    try:
-        blob = _cache_path(digest).read_bytes()
-        return True, pickle.loads(blob)
-    except Exception:
-        return False, None
-
-
-def _cache_store(digest: str, payload: typing.Any) -> None:
-    """Atomic write (unique temp file + rename): concurrent writers of
-    the same digest each land a complete file, last one wins."""
-    path = _cache_path(digest)
-    try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
-        os.replace(tmp, path)
-    except OSError:  # pragma: no cover - cache is best-effort
-        pass
-
-
-def clear_cache() -> int:
-    """Delete every cached payload; returns the number removed."""
-    removed = 0
-    root = cache_dir()
-    if root.is_dir():
-        for path in root.rglob("*.pkl"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:  # pragma: no cover - racing cleanup
-                pass
-    return removed
-
-
 # -- the runners -------------------------------------------------------------------
-
-
-@dataclasses.dataclass
-class SweepStats:
-    """What a parallel sweep actually did (observability + tests)."""
-
-    total_cells: int = 0
-    cache_hits: int = 0
-    executed: int = 0
-
-
-def _resolve_jobs(jobs: int | None) -> int:
-    if jobs is None:
-        jobs = os.cpu_count() or 1
-    if jobs < 1:
-        raise ReproError(f"jobs must be >= 1, got {jobs}")
-    return jobs
-
-
-def _run_cells(
-    cells: list[Cell],
-    full: bool,
-    jobs: int | None,
-    use_cache: bool,
-    stats: SweepStats | None = None,
-) -> dict[tuple[str, tuple], typing.Any]:
-    """Execute a pooled cell list; returns payloads keyed by
-    (experiment id, cell key)."""
-    jobs = _resolve_jobs(jobs)
-    if stats is None:
-        stats = SweepStats()
-    stats.total_cells += len(cells)
-
-    payloads: dict[tuple[str, tuple], typing.Any] = {}
-    misses: list[tuple[Cell, str]] = []
-    for cell in cells:
-        digest = cell.digest(full) if use_cache else ""
-        if use_cache:
-            hit, payload = _cache_load(digest)
-            if hit:
-                payloads[(cell.experiment_id, cell.key)] = payload
-                stats.cache_hits += 1
-                continue
-        misses.append((cell, digest))
-
-    stats.executed += len(misses)
-    if not misses:
-        return payloads
-
-    if jobs == 1:
-        # In-process serial path: same cells, no pool overhead.
-        for cell, digest in misses:
-            payload = _execute_cell(cell.fn, cell.params)
-            payloads[(cell.experiment_id, cell.key)] = payload
-            if use_cache:
-                _cache_store(digest, payload)
-        return payloads
-
-    # More CPU-bound workers than cores only adds scheduler thrash, and
-    # idle workers beyond the miss count only add fork cost.
-    workers = min(jobs, len(misses), os.cpu_count() or 1)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures: list[tuple[Cell, str, Future]] = [
-            (cell, digest, pool.submit(_execute_cell, cell.fn, cell.params))
-            for cell, digest in misses
-        ]
-        for cell, digest, future in futures:
-            payload = future.result()
-            payloads[(cell.experiment_id, cell.key)] = payload
-            if use_cache:
-                _cache_store(digest, payload)
-    return payloads
-
-
-def run_cells(
-    cells: typing.Sequence[Cell],
-    jobs: int | None = None,
-    use_cache: bool = True,
-    stats: SweepStats | None = None,
-) -> dict[tuple[str, tuple], typing.Any]:
-    """Public pooled-cell entry point for non-experiment tiers.
-
-    The fleet runner (``repro.fleet``) fans its shard cells through this,
-    so shards pool, parallelise and content-address cache exactly like
-    experiment and scenario cells; payloads come back keyed by
-    ``(experiment id, cell key)``.
-    """
-    return _run_cells(list(cells), False, jobs, use_cache, stats)
 
 
 def run_experiment_parallel(

@@ -1,9 +1,9 @@
 """Fan fleet shards across worker processes and merge their payloads.
 
 :func:`run_fleet` turns a :class:`~repro.fleet.spec.FleetSpec` into one
-parallel-sweep cell per shard (reusing the experiments' pooled,
+parallel-sweep cell per shard (reusing the foundation-layer pooled,
 content-addressed cell machinery via
-:func:`repro.experiments.parallel.run_cells`), executes them, and folds
+:func:`repro.jobs.run_cells`), executes them, and folds
 the shard payloads into a :class:`FleetReport`.  ``jobs=1`` (or
 ``serial=True``) runs the same cells in-process — the determinism tests
 assert serial, sharded-parallel and cache-replayed reports are
@@ -16,7 +16,7 @@ import dataclasses
 import time
 import typing
 
-from repro.experiments.parallel import Cell, SweepStats, run_cells
+from repro.jobs import Cell, SweepStats, run_cells
 from repro.fleet.spec import FleetSpec
 
 _FLEET = "FLEET"

@@ -23,7 +23,7 @@ import enum
 import itertools
 import typing
 
-from repro.aging.faults import AgingFaults
+from repro.config import AgingFaults
 from repro.config import TimingProfile
 from repro.errors import (
     DomainError,

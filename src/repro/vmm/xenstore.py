@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import typing
 
-from repro.aging.faults import AgingFaults
+from repro.config import AgingFaults
 from repro.errors import XenstoreError
 from repro.simkernel.metrics import NULL
 from repro.units import MiB

@@ -1,0 +1,7 @@
+"""Half of a planted module-level import cycle (fixture)."""
+
+from repro.cluster import beta
+
+
+def ping():
+    return beta.pong()

@@ -1,0 +1,7 @@
+"""Other half of a planted module-level import cycle (fixture)."""
+
+from repro.cluster import alpha
+
+
+def pong():
+    return alpha.ping()

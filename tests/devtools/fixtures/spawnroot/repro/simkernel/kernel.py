@@ -1,0 +1,20 @@
+"""Planted ``Simulator.run`` entry-point chain for SL013 (fixture).
+
+``Simulator.run`` is a registered call-graph entry point by name; it
+reaches ``time.monotonic`` through ``_tick``, so SL013 must report the
+sink with the full three-hop chain.  The local SL001 is suppressed to
+isolate the reachability finding.
+"""
+
+import time
+
+
+class Simulator:
+    """A stand-in event loop (never imported)."""
+
+    def run(self, until=None):
+        while until is None:
+            self._tick()
+
+    def _tick(self):
+        return time.monotonic()  # simlint: skip=SL001

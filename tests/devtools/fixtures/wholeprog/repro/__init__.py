@@ -1,0 +1,1 @@
+"""Fixture package marker (never imported)."""

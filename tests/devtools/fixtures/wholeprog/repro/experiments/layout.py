@@ -1,0 +1,3 @@
+"""Import target for the planted SL011 upward edge (fixture)."""
+
+COLUMNS = ("name", "replicas")

@@ -1,0 +1,7 @@
+"""Planted SL014: cross-package private-attribute read (fixture)."""
+
+from repro.cluster.planner import PlanSpec
+
+
+def replica_debt(spec: PlanSpec):
+    return spec._ledger  # SL014: private attr of a cluster class

@@ -1,0 +1,7 @@
+"""Planted SL012: mutating a frozen spec outside __post_init__ (fixture)."""
+
+from repro.cluster.planner import PlanSpec
+
+
+def widen(spec: PlanSpec):
+    spec.replicas = spec.replicas + 1  # SL012: frozen-spec mutation

@@ -1,0 +1,7 @@
+"""Planted spawn site making ``rebalance`` a process root (fixture)."""
+
+from repro.cluster.planner import rebalance
+
+
+def install(sim):
+    sim.spawn(rebalance(3))
