@@ -21,7 +21,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-stats test test-sanitize test-backend test-fleet scenarios obs-check bench perf-check perf-write profile ci
+.PHONY: lint lint-stats test test-sanitize test-backend test-fleet test-control scenarios obs-check bench perf-check perf-write profile ci
 
 # Whole-program determinism & architecture analysis (rules SL001-SL015)
 # over src/ (strict profile) and tests/ + benchmarks/ (relaxed profile:
@@ -53,6 +53,13 @@ test-backend:
 # cross-validation within the documented tolerances, epoch protocol.
 test-fleet:
 	$(PYTHON) -m pytest -x -q tests/fleet tests/workloads/test_fluid.py
+
+# The control-plane lane: detector hysteresis/grid semantics, planner
+# edge cases (partial plans, never exceptions), executor audit, and the
+# closed loop's cross-backend determinism pin, plus the aging policies
+# that delegate to the same detector core.
+test-control:
+	$(PYTHON) -m pytest -x -q tests/control tests/aging
 
 # Schema-check every committed spec file, then dry-build each of them
 # plus every registered scenario, so spec/schema drift fails CI fast.
@@ -104,4 +111,4 @@ profile:
 	pr = cProfile.Profile(); pr.enable(); run_experiment('FIG9'); \
 	pr.disable(); pstats.Stats(pr).sort_stats('cumulative').print_stats(40)"
 
-ci: lint test test-sanitize test-backend test-fleet scenarios obs-check perf-check
+ci: lint test test-sanitize test-backend test-fleet test-control scenarios obs-check perf-check

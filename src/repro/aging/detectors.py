@@ -5,6 +5,12 @@ and estimating time to exhaustion.  :class:`AgingMonitor` does the same
 for the simulated VMM: it samples heap and xenstore consumption on an
 interval and fits a linear trend to predict when the resource runs out —
 which is what a rejuvenation scheduler would use to pick an interval.
+
+Sampling ticks on the control plane's drift-free absolute grid
+(:func:`repro.control.next_tick`): sample times are ``start + k *
+interval`` regardless of how long anything sharing the simulation takes,
+so trend fits never see an interval silently stretched by a concurrent
+reboot.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.control.detectors import next_tick
 from repro.core.host import Host
 from repro.errors import AnalysisError, ConfigError
 
@@ -55,12 +62,20 @@ class AgingMonitor:
         return sample
 
     def run(self, until: float) -> typing.Generator:
-        """Sampling loop (a process)."""
+        """Sampling loop (a process): one sample now, then on the grid."""
         sim = self.host.sim
-        while sim.now < until:
+        origin = sim.now
+        if sim.now >= until:
+            return self.samples
+        self.sample_once()
+        while True:
+            tick = next_tick(origin, self.interval_s, sim.now)
+            if tick >= until:
+                if until > sim.now:
+                    yield sim.timeout(until - sim.now)
+                return self.samples
+            yield sim.timeout(tick - sim.now)
             self.sample_once()
-            yield sim.timeout(min(self.interval_s, until - sim.now))
-        return self.samples
 
     # -- estimation --------------------------------------------------------------
 

@@ -10,7 +10,14 @@ next one out; a **warm** (or saved) reboot leaves guest schedules alone.
 :class:`ThresholdRejuvenator` is the load/condition-based variant
 (Garg et al., cited as [12]): it watches VMM heap utilization and
 rejuvenates when a threshold is crossed — the "rejuvenate because aging
-is observed" policy, implemented as an extension.
+is observed" policy, implemented as an extension.  It is one instance of
+the control plane's general detector loop: the crossing logic is the
+shared :class:`repro.control.Hysteresis` gate (single-fire with re-arm
+and cooldown) and checks tick on the drift-free grid from
+:func:`repro.control.next_tick`.  The old private loop both re-fired on
+every check while utilization stayed high (duplicate triggers under
+``dom0-only`` reboots, which never reset the VMM heap) and re-anchored
+its interval after each reboot, drifting off the sampling grid.
 """
 
 from __future__ import annotations
@@ -18,6 +25,11 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.control.detectors import (
+    Hysteresis,
+    heap_utilization_signal,
+    next_tick,
+)
 from repro.core.host import Host
 from repro.core.strategies import RebootStrategy
 from repro.errors import ConfigError
@@ -132,7 +144,15 @@ class TimeBasedRejuvenator:
 
 
 class ThresholdRejuvenator:
-    """Condition-based rejuvenation: act when heap aging crosses a line."""
+    """Condition-based rejuvenation: act when heap aging crosses a line.
+
+    The crossing is a single-fire hysteresis gate: a utilization parked
+    at (or above) the threshold triggers exactly one rejuvenation, and
+    the gate re-arms only once utilization falls back below
+    ``rearm_utilization`` (default: the threshold itself).  Checks land
+    on the absolute grid ``start + k * check_interval_s`` no matter how
+    long a reboot takes.
+    """
 
     def __init__(
         self,
@@ -140,32 +160,55 @@ class ThresholdRejuvenator:
         strategy: "str | RebootStrategy" = RebootStrategy.WARM,
         heap_threshold: float = 0.8,
         check_interval_s: float = 3600.0,
+        rearm_utilization: float | None = None,
+        cooldown_s: float = 0.0,
     ) -> None:
         if not 0 < heap_threshold < 1:
             raise ConfigError("heap_threshold must be in (0, 1)")
         if check_interval_s <= 0:
             raise ConfigError("check_interval_s must be positive")
+        if rearm_utilization is not None and not (
+            0 <= rearm_utilization <= heap_threshold
+        ):
+            raise ConfigError(
+                "rearm_utilization must be in [0, heap_threshold]"
+            )
+        if cooldown_s < 0:
+            raise ConfigError("cooldown_s must be >= 0")
         self.host = host
         self.strategy = (
             RebootStrategy(strategy) if isinstance(strategy, str) else strategy
         )
         self.heap_threshold = heap_threshold
         self.check_interval_s = check_interval_s
+        self._signal = heap_utilization_signal(host)
+        self._gate = Hysteresis(
+            heap_threshold,
+            rearm=rearm_utilization,
+            cooldown_s=cooldown_s,
+            direction="above",
+        )
         self.rejuvenations: list[float] = []
+        self.triggers: list[float] = []
 
     def run(self, until: float) -> typing.Generator:
         """Poll heap utilization; rejuvenate on threshold crossing."""
         sim = self.host.sim
-        while sim.now < until:
-            yield sim.timeout(min(self.check_interval_s, until - sim.now))
-            vmm = self.host.vmm
-            if vmm is None:
-                continue
-            if vmm.heap.utilization >= self.heap_threshold:
+        origin = sim.now
+        while True:
+            tick = next_tick(origin, self.check_interval_s, sim.now)
+            if tick > until:
+                if until > sim.now:
+                    yield sim.timeout(until - sim.now)
+                return self.rejuvenations
+            yield sim.timeout(tick - sim.now)
+            value = self._signal()
+            if value is None:
+                continue  # VMM down mid-reboot: not an aging signal
+            if self._gate.observe(sim.now, value):
                 sim.trace.record(
-                    "aging.threshold.trigger",
-                    utilization=vmm.heap.utilization,
+                    "aging.threshold.trigger", utilization=value
                 )
+                self.triggers.append(sim.now)
                 yield from self.host.reboot(self.strategy)
                 self.rejuvenations.append(sim.now)
-        return self.rejuvenations

@@ -6,6 +6,13 @@ before anything reboots: how many hosts can be taken down concurrently,
 how long the whole campaign takes, and what the capacity timeline looks
 like.  It then executes the plan (waves of concurrent reboots) and
 reports plan-vs-actual.
+
+Host ordering is delegated to a pluggable
+:class:`repro.control.PlacementStrategy`: the default
+:class:`~repro.control.FleetOrderStrategy` reproduces the historical
+fleet-order campaign bit-identically, while e.g. ``aging-aware`` walks
+the most-aged hosts first.  Wave chunking itself is the shared
+:func:`repro.control.sla_waves` helper.
 """
 
 from __future__ import annotations
@@ -14,6 +21,12 @@ import dataclasses
 import typing
 
 from repro.cluster.cluster import Cluster
+from repro.control.planner import (
+    FleetOrderStrategy,
+    PlacementStrategy,
+    sla_waves,
+    view_of_hosts,
+)
 from repro.core.strategies import RebootStrategy
 from repro.errors import ClusterError
 
@@ -71,7 +84,12 @@ class MaintenancePlanner:
         RebootStrategy.DOM0_ONLY: 50.0,
     }
 
-    def __init__(self, cluster: Cluster, min_live_replicas: int = 1) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        min_live_replicas: int = 1,
+        placement: PlacementStrategy | None = None,
+    ) -> None:
         if min_live_replicas < 0:
             raise ClusterError("min_live_replicas must be >= 0")
         if min_live_replicas >= cluster.size:
@@ -81,6 +99,9 @@ class MaintenancePlanner:
             )
         self.cluster = cluster
         self.min_live_replicas = min_live_replicas
+        self.placement = (
+            placement if placement is not None else FleetOrderStrategy()
+        )
 
     def plan(
         self,
@@ -95,11 +116,9 @@ class MaintenancePlanner:
             RebootStrategy(strategy) if isinstance(strategy, str) else strategy
         )
         concurrency = self.cluster.size - self.min_live_replicas
-        names = [host.name for host in self.cluster.hosts]
-        waves = tuple(
-            tuple(names[i : i + concurrency])
-            for i in range(0, len(names), concurrency)
-        )
+        view = view_of_hosts(self.cluster.hosts)
+        names = self.placement.rejuvenation_order(view)
+        waves = sla_waves(names, concurrency)
         expected = (
             expected_host_downtime_s
             if expected_host_downtime_s is not None

@@ -20,6 +20,11 @@ import typing
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.migration import MigrationSpec, live_migrate, migrate_all
+from repro.control.planner import (
+    FleetOrderStrategy,
+    PlacementStrategy,
+    view_of_hosts,
+)
 from repro.core.strategies import RebootStrategy
 from repro.errors import ClusterError
 
@@ -45,6 +50,7 @@ class RollingRejuvenator:
         cluster: Cluster,
         strategy: "str | RebootStrategy" = RebootStrategy.WARM,
         settle_s: float = 5.0,
+        placement: PlacementStrategy | None = None,
     ) -> None:
         if settle_s < 0:
             raise ClusterError("settle time must be >= 0")
@@ -53,15 +59,26 @@ class RollingRejuvenator:
             RebootStrategy(strategy) if isinstance(strategy, str) else strategy
         )
         self.settle_s = settle_s
+        self.placement = (
+            placement if placement is not None else FleetOrderStrategy()
+        )
         self.completed: list[HostRejuvenation] = []
 
     def run(self) -> typing.Generator:
-        """Rejuvenate every host sequentially (a process)."""
+        """Rejuvenate every host sequentially (a process).
+
+        Host order comes from the placement strategy; the default is the
+        historical fleet order, bit-identical to the pre-strategy code.
+        """
         sim = self.cluster.sim
+        order = self.placement.rejuvenation_order(
+            view_of_hosts(self.cluster.hosts)
+        )
         with sim.spans.span(
             "cluster.rolling", actor="cluster", detail=self.strategy.value
         ):
-            for host in self.cluster.hosts:
+            for name in order:
+                host = self.cluster.host(name)
                 started = sim.now
                 # On the host's own actor track so the strategy's "reboot"
                 # span nests under it implicitly.

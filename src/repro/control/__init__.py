@@ -1,0 +1,83 @@
+"""Autonomic control plane: closed-loop consolidation + rejuvenation.
+
+The package splits the loop into three pure-ish parts — **detectors**
+(hysteresis gates over live metric signals), a **planner** (pluggable
+placement strategies mapping an inert fleet view to typed actions under
+SLA constraints), and an **executor** (applies actions through existing
+host/migration mechanisms, fully audited) — wired together by
+:class:`ControlLoop` on a drift-free sampling grid.
+
+Layering: this package sits *below* the host and cluster layers and
+imports only the foundation (``errors``, ``simkernel``).  Live hosts
+reach it duck-typed through :func:`view_of_hosts`, and cluster-level
+migration is injected as a callable by the scenario layer.
+"""
+
+from __future__ import annotations
+
+from repro.control.actions import (
+    Action,
+    ActionKind,
+    Plan,
+    migrate,
+    rejuvenate,
+)
+from repro.control.detectors import (
+    Detector,
+    Hysteresis,
+    Trigger,
+    cpu_runnable_signal,
+    heap_utilization_signal,
+    next_tick,
+    windowed_mean,
+)
+from repro.control.executor import PlanExecutor
+from repro.control.loop import ControlConfig, ControlLoop
+from repro.control.planner import (
+    AgingAwareStrategy,
+    ConsolidationStrategy,
+    Constraints,
+    FirstFitDecreasingStrategy,
+    FleetOrderStrategy,
+    FleetView,
+    HostView,
+    PlacementStrategy,
+    VMView,
+    register_strategy,
+    resolve_strategy,
+    sla_waves,
+    strategy_names,
+    view_of_hosts,
+)
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "AgingAwareStrategy",
+    "ConsolidationStrategy",
+    "Constraints",
+    "ControlConfig",
+    "ControlLoop",
+    "Detector",
+    "FirstFitDecreasingStrategy",
+    "FleetOrderStrategy",
+    "FleetView",
+    "HostView",
+    "Hysteresis",
+    "PlacementStrategy",
+    "Plan",
+    "PlanExecutor",
+    "Trigger",
+    "VMView",
+    "cpu_runnable_signal",
+    "heap_utilization_signal",
+    "migrate",
+    "next_tick",
+    "register_strategy",
+    "rejuvenate",
+    "resolve_strategy",
+    "sla_waves",
+    "strategy_names",
+    "view_of_hosts",
+    "windowed_mean",
+]

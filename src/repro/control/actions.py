@@ -1,0 +1,83 @@
+"""Typed actions a placement strategy may emit.
+
+A strategy's output is a :class:`Plan`: an ordered tuple of
+:class:`Action` values the executor applies sequentially, plus the
+actions it *wanted* but the SLA constraints (migration budget, minimum
+hosts up) forced it to defer.  Budget exhaustion degrades to a partial
+plan — never an exception — so a starved control loop keeps making
+forward progress one epoch at a time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class ActionKind(enum.Enum):
+    """What one control-plane action does."""
+
+    MIGRATE = "migrate"
+    REJUVENATE_WARM = "rejuvenate-warm"
+    REJUVENATE_COLD = "rejuvenate-cold"
+    NO_OP = "no-op"
+
+
+REJUVENATE_KINDS = frozenset(
+    {ActionKind.REJUVENATE_WARM, ActionKind.REJUVENATE_COLD}
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Action:
+    """One decision: migrate a VM, rejuvenate a host, or do nothing.
+
+    ``target`` is the host acted on — the migration destination or the
+    reboot target; ``vm``/``source`` are set for migrations only.
+    ``reason`` carries the detector or constraint that motivated (or
+    deferred) the action into the audit log.
+    """
+
+    kind: ActionKind
+    target: str | None = None
+    vm: str | None = None
+    source: str | None = None
+    reason: str = ""
+
+
+def migrate(vm: str, source: str, target: str, reason: str = "") -> Action:
+    """A live-migration action."""
+    return Action(
+        ActionKind.MIGRATE, target=target, vm=vm, source=source, reason=reason
+    )
+
+
+def rejuvenate(host: str, strategy: str = "warm", reason: str = "") -> Action:
+    """A rejuvenation action (``strategy`` is ``"warm"`` or ``"cold"``)."""
+    kind = (
+        ActionKind.REJUVENATE_COLD
+        if strategy == "cold"
+        else ActionKind.REJUVENATE_WARM
+    )
+    return Action(kind, target=host, reason=reason)
+
+
+@dataclasses.dataclass(frozen=True)
+class Plan:
+    """One control cycle's decisions: ordered actions plus deferrals."""
+
+    strategy: str
+    actions: tuple[Action, ...] = ()
+    deferred: tuple[Action, ...] = ()
+
+    @property
+    def migrations(self) -> int:
+        return sum(1 for a in self.actions if a.kind is ActionKind.MIGRATE)
+
+    @property
+    def rejuvenations(self) -> int:
+        return sum(1 for a in self.actions if a.kind in REJUVENATE_KINDS)
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.actions and not self.deferred

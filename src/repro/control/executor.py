@@ -1,0 +1,135 @@
+"""Plan executor: applies typed actions to live hosts, audited.
+
+The executor is the only part of the control plane that touches
+simulation state, and it does so exclusively through mechanisms that
+already exist — ``host.reboot(strategy)`` for rejuvenation and an
+injected ``migrate(source, target, vm)`` coroutine for live migration
+(wired by the scenario layer from :mod:`repro.cluster.migration`; the
+control layer sits *below* cluster and never imports it).  Every action
+lands one ``control.decision`` trace record and one audit dict whether
+it succeeded, failed, was skipped, or was deferred by the planner, so a
+report replays exactly why the fleet looks the way it does.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.control.actions import Action, ActionKind, Plan, REJUVENATE_KINDS
+from repro.errors import ControlError, ReproError
+
+MigrateFn = typing.Callable[[str, str, str], typing.Iterator[typing.Any]]
+"""Injected migration mechanism: ``migrate(source, target, vm)`` is a
+simulation coroutine performing one live migration."""
+
+
+class PlanExecutor:
+    """Applies :class:`Plan` actions sequentially inside the simulation."""
+
+    def __init__(
+        self,
+        sim: typing.Any,
+        hosts: typing.Mapping[str, typing.Any],
+        migrate: MigrateFn | None = None,
+    ) -> None:
+        self.sim = sim
+        self.hosts = dict(hosts)
+        self.migrate = migrate
+        self.audit: list[dict] = []
+        self.migrations = 0
+        self.rejuvenations = 0
+        self.skipped = 0
+        self.failed = 0
+
+    def apply(self, plan: Plan, cycle: int) -> typing.Iterator[typing.Any]:
+        """Apply one plan's actions in order; record its deferrals."""
+        for action in plan.actions:
+            yield from self._apply_one(action, cycle)
+        for action in plan.deferred:
+            self._record(cycle, action, "deferred")
+
+    # -- one action ----------------------------------------------------------------
+
+    def _apply_one(
+        self, action: Action, cycle: int
+    ) -> typing.Iterator[typing.Any]:
+        with self.sim.spans.span(
+            "control.action", actor="control", detail=action.kind.value
+        ):
+            if action.kind is ActionKind.NO_OP:
+                self._record(cycle, action, "noop")
+            elif action.kind is ActionKind.MIGRATE:
+                yield from self._apply_migration(action, cycle)
+            elif action.kind in REJUVENATE_KINDS:
+                yield from self._apply_rejuvenation(action, cycle)
+            else:  # pragma: no cover - enum is closed
+                raise ControlError(f"unknown action kind {action.kind!r}")
+
+    def _apply_migration(
+        self, action: Action, cycle: int
+    ) -> typing.Iterator[typing.Any]:
+        if (
+            self.migrate is None
+            or action.vm is None
+            or action.source is None
+            or action.target is None
+        ):
+            self.skipped += 1
+            self._record(cycle, action, "skipped")
+            return
+        try:
+            yield from self.migrate(action.source, action.target, action.vm)
+        except ReproError:
+            self.failed += 1
+            self._record(cycle, action, "failed")
+            return
+        self.migrations += 1
+        self._record(cycle, action, "applied")
+
+    def _apply_rejuvenation(
+        self, action: Action, cycle: int
+    ) -> typing.Iterator[typing.Any]:
+        host = self.hosts.get(action.target or "")
+        if host is None:
+            self.skipped += 1
+            self._record(cycle, action, "skipped")
+            return
+        strategy = (
+            "cold" if action.kind is ActionKind.REJUVENATE_COLD else "warm"
+        )
+        try:
+            yield from host.reboot(strategy)
+        except ReproError:
+            self.failed += 1
+            self._record(cycle, action, "failed")
+            return
+        self.rejuvenations += 1
+        self._record(cycle, action, "applied")
+
+    # -- the audit trail -----------------------------------------------------------
+
+    def _record(self, cycle: int, action: Action, outcome: str) -> None:
+        entry = {
+            "time": self.sim.now,
+            "cycle": cycle,
+            "action": action.kind.value,
+            "target": action.target or "",
+            "outcome": outcome,
+        }
+        extras = {}
+        if action.vm is not None:
+            extras["vm"] = action.vm
+        if action.source is not None:
+            extras["source"] = action.source
+        if action.reason:
+            extras["reason"] = action.reason
+        entry.update(extras)
+        self.audit.append(entry)
+        self.sim.trace.record(
+            "control.decision",
+            cycle=cycle,
+            action=action.kind.value,
+            target=action.target or "",
+            outcome=outcome,
+            **extras,
+        )

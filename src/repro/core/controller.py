@@ -42,8 +42,9 @@ class RootHammer:
         hypervisor_cls: type[Hypervisor] = RootHammerHypervisor,
         host_name: str = "server",
         backend: typing.Any = None,
+        metrics: bool | None = None,
     ) -> None:
-        self.sim = Simulator(backend=backend)
+        self.sim = Simulator(backend=backend, metrics=metrics)
         self.streams = RandomStreams(seed)
         self.host = Host(
             self.sim,

@@ -10,12 +10,20 @@ level   layer          packages
                        ``config``, ``jobs``, ``simkernel``, ``memory``
 1       hardware       ``hardware``
 2       platform       ``vmm``, ``guest``
-3       host           ``core``, ``workloads``, ``aging``, ``analysis``
-4       control        ``cluster``
-5       orchestration  ``scenario``, ``fleet``
-6       application    ``experiments``
-7       devtools       ``devtools``
+3       policy         ``control``
+4       host           ``core``, ``workloads``, ``aging``, ``analysis``
+5       cluster        ``cluster``
+6       orchestration  ``scenario``, ``fleet``
+7       application    ``experiments``
+8       devtools       ``devtools``
 ======  =============  ====================================================
+
+The ``policy`` layer (the autonomic control plane) sits deliberately
+*below* host: its detectors may read ``simkernel.metrics`` and its
+planner sees hosts only as inert views, so "the planner must not import
+workloads (or hosts, or the cluster)" is the ordinary upward-import rule
+rather than a special case.  Live wiring flows downward: the scenario
+layer snapshots hosts into views and injects migration as a callable.
 
 A module may import (at module level) from its own layer or any layer
 *below* it; an import that points upward is an SL011 finding, as is a
@@ -82,8 +90,9 @@ DEFAULT_LAYER_MAP = LayerMap.from_pairs(
         ),
         ("hardware", ["hardware"]),
         ("platform", ["vmm", "guest"]),
+        ("policy", ["control"]),
         ("host", ["core", "workloads", "aging", "analysis"]),
-        ("control", ["cluster"]),
+        ("cluster", ["cluster"]),
         ("orchestration", ["scenario", "fleet"]),
         ("application", ["experiments"]),
         ("devtools", ["devtools"]),

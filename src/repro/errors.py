@@ -94,6 +94,10 @@ class ClusterError(ReproError):
     """A cluster-level orchestration error."""
 
 
+class ControlError(ReproError):
+    """The autonomic control plane was misconfigured or misused."""
+
+
 class FleetError(ReproError):
     """A sharded-fleet spec was inconsistent or a shard broke protocol."""
 

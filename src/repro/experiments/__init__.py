@@ -35,6 +35,10 @@ _RUNNERS: dict[str, tuple[str, str]] = {
         "repro.experiments.ext_granularity",
         "the rejuvenation-granularity hierarchy (extension)",
     ),
+    "EXT-AUTONOMIC": (
+        "repro.experiments.ext_autonomic",
+        "fixed schedule vs autonomic consolidation (extension)",
+    ),
 }
 
 

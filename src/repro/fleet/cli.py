@@ -4,17 +4,26 @@ Exposed as ``python -m repro.fleet ...``::
 
     fleet validate SPEC...        # schema-check fleet TOML files
     fleet run SPEC [--jobs N]     # run every shard, print the report
+
+``fleet run --trace-out PATH`` mirrors ``scenario run --trace-out``: it
+runs the shards serially in-process with metrics collection on and
+writes one Perfetto trace per shard (``PATH`` gains a ``.shardN``
+suffix), so control-plane decisions (``control.cycle`` /
+``control.action`` spans and the ``control.decision`` records) are
+inspectable per shard.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import typing
 
 from repro.errors import FleetError, ScenarioError
 from repro.fleet.runner import run_fleet
 from repro.fleet.spec import load_fleet_toml
+from repro.scenario.spec import PolicySpec
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -28,9 +37,44 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_suffixed(path: str, shard: int) -> str:
+    """``fleet.json`` -> ``fleet.shard0.json`` (suffix before the ext)."""
+    stem, dot, ext = path.rpartition(".")
+    if not dot:
+        return f"{path}.shard{shard}"
+    return f"{stem}.shard{shard}.{ext}"
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = load_fleet_toml(args.spec)
-    report = run_fleet(spec, jobs=args.jobs, use_cache=args.cache)
+    if args.policy:
+        policy = (
+            dataclasses.replace(spec.policy, strategy=args.policy)
+            if spec.policy is not None
+            else PolicySpec(strategy=args.policy)
+        )
+        spec = dataclasses.replace(spec, policy=policy)
+    if args.trace_out:
+        import os
+
+        from repro.analysis.obs import capture_simulators, write_perfetto
+
+        previous = os.environ.get("REPRO_METRICS")
+        os.environ["REPRO_METRICS"] = "1"  # shards own Simulator creation
+        try:
+            with capture_simulators() as sims:
+                # Tracing needs the shard simulators in this process.
+                report = run_fleet(spec, jobs=1, use_cache=False)
+        finally:
+            if previous is None:
+                del os.environ["REPRO_METRICS"]
+            else:
+                os.environ["REPRO_METRICS"] = previous
+        for shard, sim in enumerate(sims):
+            out = _trace_suffixed(args.trace_out, shard)
+            print(f"wrote {write_perfetto(out, sim.trace, sim.metrics)}")
+    else:
+        report = run_fleet(spec, jobs=args.jobs, use_cache=args.cache)
     print(report.render())
     return 0
 
@@ -56,6 +100,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--cache", action="store_true",
         help="content-address shard payloads in the experiments cache",
+    )
+    run.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write one Perfetto trace per shard (PATH gains a .shardN "
+        "suffix); implies metrics collection and --jobs 1",
+    )
+    run.add_argument(
+        "--policy",
+        metavar="STRATEGY",
+        default=None,
+        help="enable (or override) the autonomic control loop with this "
+        "placement strategy on every shard",
     )
     run.set_defaults(fn=_cmd_run)
     return parser

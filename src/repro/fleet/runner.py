@@ -40,6 +40,9 @@ class FleetReport:
     bringup_s: float
     rows: list[dict]
     wall_s: float = 0.0
+    policy: dict = dataclasses.field(default_factory=dict)
+    """Aggregated control-loop summary across shards (counts summed,
+    audits concatenated in shard order); empty without a policy."""
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -56,6 +59,12 @@ class FleetReport:
         if self.overruns:
             lines.append(
                 f"  epoch overruns: {', '.join(self.overruns)}"
+            )
+        if self.policy:
+            lines.append(
+                "  policy {strategy}: {cycles} cycle(s), "
+                "{migrations} migration(s), {rejuvenations} "
+                "rejuvenation(s), {deferred} deferred".format(**self.policy)
             )
         if self.wall_s:
             lines.append(f"  wall clock: {self.wall_s:.2f}s")
@@ -89,6 +98,7 @@ def merge_shards(spec: FleetSpec, payloads: typing.Sequence[dict]) -> FleetRepor
     availability = 0.0
     hosts = vms = 0
     bringup = 0.0
+    policy: dict = {}
     for payload in payloads:
         hosts += payload["hosts"]
         vms += payload["vms"]
@@ -100,6 +110,27 @@ def merge_shards(spec: FleetSpec, payloads: typing.Sequence[dict]) -> FleetRepor
             failures += row.get("failures", 0.0)
             downtime += row.get("downtime_s", 0.0)
             availability += row.get("availability", 1.0)
+        shard_policy = payload.get("policy") or {}
+        if shard_policy:
+            if not policy:
+                policy = {
+                    "strategy": shard_policy["strategy"],
+                    "cycles": 0,
+                    "migrations": 0,
+                    "rejuvenations": 0,
+                    "skipped": 0,
+                    "failed": 0,
+                    "deferred": 0,
+                    "audit": [],
+                }
+            # Every shard ticks the same absolute grid, so cycle counts
+            # agree; the action counters are genuine per-shard work.
+            policy["cycles"] = max(policy["cycles"], shard_policy["cycles"])
+            for key in (
+                "migrations", "rejuvenations", "skipped", "failed", "deferred"
+            ):
+                policy[key] += shard_policy[key]
+            policy["audit"].extend(shard_policy["audit"])
     return FleetReport(
         name=spec.name,
         hosts=hosts,
@@ -113,6 +144,7 @@ def merge_shards(spec: FleetSpec, payloads: typing.Sequence[dict]) -> FleetRepor
         overruns=overruns,
         bringup_s=bringup,
         rows=rows,
+        policy=policy,
     )
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import typing
 from bisect import bisect_left, bisect_right
 
+from repro.control.loop import ControlLoop
 from repro.core.strategies import RebootStrategy
 from repro.errors import FleetError
 from repro.scenario.builder import AttachedWorkload, BuiltScenario, ScenarioBuilder
@@ -119,6 +120,16 @@ def run_fleet_shard(shard: dict) -> dict:
             ),
             name=f"fleet.rejuvenate:{host.name}",
         )
+    control_loop = None
+    if spec.policy is not None:
+        # A policy-enabled shard runs its own control loop over its
+        # hosts.  Decisions are a pure function of shard-local state on
+        # the absolute grid, so sharding never changes them; migrations
+        # stay shard-local (the loop only sees this shard's hosts).
+        control_loop = ControlLoop(
+            sim, built.hosts, config=spec.policy.to_control_config()
+        )
+        sim.spawn(control_loop.run(horizon), name="fleet.control")
     sim.run(until=horizon)
     built.stop_workloads()
 
@@ -143,4 +154,5 @@ def run_fleet_shard(shard: dict) -> dict:
         "reboot_s": dict(sorted(durations.items())),
         "overruns": sorted(overruns),
         "rows": rows,
+        "policy": control_loop.summary() if control_loop is not None else {},
     }

@@ -31,6 +31,7 @@ from repro.scenario.spec import (
     STRATEGIES,
     FaultSpec,
     HostSpec,
+    PolicySpec,
     ScenarioSpec,
     WorkloadSpec,
     _as_dict,
@@ -58,6 +59,7 @@ class FleetSpec:
     seed: int = 0
     workloads: tuple[WorkloadSpec, ...] = ()
     faults: FaultSpec | None = None
+    policy: PolicySpec | None = None
     strategy: str = "warm"
     hosts_per_epoch: int = 1
     epoch_s: float = 60.0
@@ -185,6 +187,7 @@ class FleetSpec:
                 seed=self.seed,
                 workloads=self.workloads,
                 faults=self.faults,
+                policy=self.policy,
             )
             plans.append(
                 {
@@ -230,6 +233,10 @@ class FleetSpec:
             kwargs["faults"] = FaultSpec.from_dict(
                 kwargs["faults"], f"{where}.faults"
             )
+        if kwargs.get("policy") is not None:
+            kwargs["policy"] = PolicySpec.from_dict(
+                kwargs["policy"], f"{where}.policy"
+            )
         return _construct(cls, kwargs, where)
 
     def to_dict(self) -> dict:
@@ -238,6 +245,8 @@ class FleetSpec:
         out["workloads"] = [w.to_dict() for w in self.workloads]
         if self.faults is not None:
             out["faults"] = self.faults.to_dict()
+        if self.policy is not None:
+            out["policy"] = self.policy.to_dict()
         return out
 
 

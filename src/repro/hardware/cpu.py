@@ -26,6 +26,13 @@ class CpuPool:
             sim, capacity=float(spec.cores), per_job_cap=1.0, name=f"{name}.pool"
         )
         self._metric_runnable = sim.metrics.gauge("cpu.runnable", cpu=name)
+        if sim.metrics.enabled:
+            # Track membership changes both ways — a submission-only
+            # gauge would stick at its last value across idle periods,
+            # which is exactly what the control plane's windowed-load
+            # detectors must not see.  Observer left out when metrics
+            # are off so the pool's hot paths pay nothing.
+            self._pool.on_jobs_change = self._metric_runnable.set
 
     @property
     def cores(self) -> int:
@@ -40,9 +47,7 @@ class CpuPool:
         """Run ``core_seconds`` of single-threaded work; event fires when done."""
         if core_seconds < 0:
             raise HardwareError(f"negative CPU work {core_seconds}")
-        event = self._pool.execute(core_seconds, weight=weight)
-        self._metric_runnable.set(self._pool.active_jobs)
-        return event
+        return self._pool.execute(core_seconds, weight=weight)
 
     def execute_shared(
         self, core_seconds: float, weight: float = 1.0, cap: float | None = None
@@ -50,9 +55,7 @@ class CpuPool:
         """Weighted, optionally capped execution (credit-scheduler path)."""
         if core_seconds < 0:
             raise HardwareError(f"negative CPU work {core_seconds}")
-        event = self._pool.execute(core_seconds, weight=weight, cap=cap)
-        self._metric_runnable.set(self._pool.active_jobs)
-        return event
+        return self._pool.execute(core_seconds, weight=weight, cap=cap)
 
     def cancel(self, event: Event) -> None:
         """Abort a running job (its event fails, pre-defused)."""

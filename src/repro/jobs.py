@@ -36,12 +36,16 @@ import repro
 from repro.config import paper_testbed
 from repro.errors import ReproError
 
-_CACHE_VERSION = 2
+_CACHE_VERSION = 3
 """Bump to invalidate every cached payload at once.
 
 2: workload mode/sessions/tick entered the scenario spec schema and the
 kernel backend/horizon entered the digest material; payloads keyed under
 version 1 predate both and must never alias the new cells.
+
+3: scenario reports and fleet shard payloads gained the control-plane
+``policy`` block (and specs the ``policy`` table); version-2 payloads
+lack the key and must not replay into policy-aware consumers.
 """
 
 

@@ -6,11 +6,16 @@ error paths) slowly exhaust it, eventually degrading or crashing the VMM.
 :class:`VmmHeap` tracks live allocations *and* leaked bytes separately so
 aging experiments can drive the heap toward exhaustion and rejuvenation
 can demonstrably reset it.
+
+When handed a metrics registry the heap publishes ``vmm.heap_used_bytes``
+and ``vmm.heap_leaked_bytes`` gauges on every mutation, giving the
+control plane's aging detectors a live series to watch.
 """
 
 from __future__ import annotations
 
 import itertools
+import typing
 
 from repro.errors import OutOfMemoryError, MemoryError_
 
@@ -32,7 +37,12 @@ class HeapAllocation:
 class VmmHeap:
     """A bounded heap with explicit leak accounting."""
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(
+        self,
+        capacity_bytes: int,
+        metrics: typing.Any = None,
+        owner: str = "",
+    ) -> None:
         if capacity_bytes <= 0:
             raise MemoryError_(f"heap capacity must be > 0, got {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
@@ -40,6 +50,20 @@ class VmmHeap:
         self._leaked_bytes = 0
         self._ids = itertools.count(1)
         self.high_watermark = 0
+        if metrics is not None:
+            self._metric_used = metrics.gauge("vmm.heap_used_bytes", host=owner)
+            self._metric_leaked = metrics.gauge(
+                "vmm.heap_leaked_bytes", host=owner
+            )
+        else:
+            self._metric_used = None
+            self._metric_leaked = None
+        self._publish()
+
+    def _publish(self) -> None:
+        if self._metric_used is not None:
+            self._metric_used.set(self.used_bytes)
+            self._metric_leaked.set(self._leaked_bytes)
 
     @property
     def live_bytes(self) -> int:
@@ -75,6 +99,7 @@ class VmmHeap:
         allocation = HeapAllocation(next(self._ids), nbytes, tag)
         self._live[allocation.allocation_id] = allocation
         self.high_watermark = max(self.high_watermark, self.used_bytes)
+        self._publish()
         return allocation
 
     def release(self, allocation: HeapAllocation) -> None:
@@ -82,6 +107,7 @@ class VmmHeap:
         if allocation.allocation_id not in self._live:
             raise MemoryError_(f"double free of {allocation!r}")
         del self._live[allocation.allocation_id]
+        self._publish()
 
     def leak(self, allocation: HeapAllocation) -> None:
         """Turn a live allocation into a leak: the bytes stay consumed but
@@ -90,6 +116,7 @@ class VmmHeap:
             raise MemoryError_(f"cannot leak non-live {allocation!r}")
         del self._live[allocation.allocation_id]
         self._leaked_bytes += allocation.nbytes
+        self._publish()
 
     def leak_bytes(self, nbytes: int) -> None:
         """Directly consume heap bytes as a leak (fault injection).
@@ -104,8 +131,10 @@ class VmmHeap:
             self._leaked_bytes + nbytes, self.capacity_bytes - self.live_bytes
         )
         self.high_watermark = max(self.high_watermark, self.used_bytes)
+        self._publish()
 
     def reset(self) -> None:
         """What a VMM reboot does: a brand-new heap, leaks gone."""
         self._live.clear()
         self._leaked_bytes = 0
+        self._publish()

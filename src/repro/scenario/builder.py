@@ -218,6 +218,8 @@ class ScenarioBuilder:
             faults=faults,
             host_name=host_name,
             backend=self.backend,
+            # A control policy needs the metric series its detectors read.
+            metrics=True if self.spec.policy is not None else None,
         )
         return BuiltScenario(
             spec=self.spec,
@@ -239,7 +241,11 @@ class ScenarioBuilder:
                     )
                 )
                 cursor += 1
-        sim = Simulator(backend=self.backend)
+        sim = Simulator(
+            backend=self.backend,
+            # A control policy needs the metric series its detectors read.
+            metrics=True if self.spec.policy is not None else None,
+        )
         cluster = Cluster(
             sim,
             size=len(layouts),

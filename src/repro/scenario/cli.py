@@ -12,6 +12,7 @@ experiments CLI as ``python -m repro.experiments.cli scenario ...``::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import typing
 
@@ -19,7 +20,7 @@ from repro.errors import ScenarioError
 from repro.scenario import registry
 from repro.scenario.builder import build_scenario
 from repro.scenario.runner import run_scenario
-from repro.scenario.spec import load_toml
+from repro.scenario.spec import PolicySpec, load_toml
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -51,6 +52,13 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = registry.resolve(args.spec)
+    if args.policy:
+        policy = (
+            dataclasses.replace(spec.policy, strategy=args.policy)
+            if spec.policy is not None
+            else PolicySpec(strategy=args.policy)
+        )
+        spec = dataclasses.replace(spec, policy=policy)
     if args.trace_out:
         import os
 
@@ -103,6 +111,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a Perfetto trace (spans + metric counter tracks) of "
         "the run; implies metrics collection (REPRO_METRICS=1)",
+    )
+    run.add_argument(
+        "--policy",
+        metavar="STRATEGY",
+        default=None,
+        help="enable (or override) the autonomic control loop with this "
+        "placement strategy",
     )
     run.set_defaults(fn=_cmd_run)
     return parser

@@ -15,6 +15,7 @@ from repro.scenario.spec import (
     FaultSpec,
     HostSpec,
     MaintenanceSpec,
+    PolicySpec,
     ScenarioSpec,
     VMSpec,
     WorkloadSpec,
@@ -60,7 +61,8 @@ def resolve(name_or_path: str) -> ScenarioSpec:
 #
 # Each of these is a setup the hand-written experiment modules never
 # expressed: heterogeneous memory under rolling maintenance, a probed
-# single host, and an aging host racing a periodic schedule.
+# single host, an aging host racing a periodic schedule, and a cluster
+# run by the autonomic control loop instead of a schedule.
 
 register(
     ScenarioSpec(
@@ -119,5 +121,35 @@ register(
             vmm_interval_s=12 * 3600.0,
         ),
         observe_s=2 * 86400.0,
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="autonomic-consolidation",
+        description=(
+            "Two loaded web hosts plus an idle host; the control loop "
+            "consolidates the idle VMs away and rejuvenates only the "
+            "emptied host"
+        ),
+        hosts=(
+            HostSpec(
+                name="web{i}",
+                count=2,
+                vms=(VMSpec(memory_gib=1.0, services=("apache",)),),
+            ),
+            HostSpec(name="idle0", vms=(VMSpec(count=2, memory_gib=1.0),)),
+        ),
+        workloads=(
+            WorkloadSpec(kind="httperf", concurrency=4),
+            WorkloadSpec(kind="prober", service="apache"),
+        ),
+        # No maintenance table: the policy decides what to rejuvenate.
+        policy=PolicySpec(
+            strategy="first-fit-decreasing",
+            underload=0.001,
+        ),
+        warmup_s=40.0,
+        observe_s=480.0,
     )
 )

@@ -20,6 +20,7 @@ import typing
 
 from repro.aging.policy import TimeBasedRejuvenator
 from repro.aging.watchdog import CrashWatchdog, HeapExhaustionCrasher
+from repro.control.loop import ControlLoop
 from repro.errors import GuestError, VMMError
 from repro.scenario.builder import AttachedWorkload, BuiltScenario, build_scenario
 from repro.scenario.spec import ScenarioSpec
@@ -56,6 +57,10 @@ class ScenarioReport:
     """Registry snapshot (see :meth:`MetricsRegistry.snapshot`); empty
     unless the run's simulator had metrics enabled (``REPRO_METRICS=1``)."""
 
+    policy: dict[str, typing.Any] = dataclasses.field(default_factory=dict)
+    """Control-loop summary (see :meth:`ControlLoop.summary`) including
+    the per-decision audit log; empty when no policy was attached."""
+
     def to_dict(self) -> dict:
         return {
             "name": self.name,
@@ -66,6 +71,7 @@ class ScenarioReport:
             "maintenance": dict(self.maintenance),
             "faults": dict(self.faults),
             "metrics": dict(self.metrics),
+            "policy": dict(self.policy),
         }
 
     def render(self) -> str:
@@ -94,6 +100,12 @@ class ScenarioReport:
             series = sum(len(entries) for entries in self.metrics.values())
             lines.append(
                 f"  metrics: {len(self.metrics)} name(s), {series} series"
+            )
+        if self.policy:
+            lines.append(
+                "  policy {strategy}: {cycles} cycle(s), "
+                "{migrations} migration(s), {rejuvenations} "
+                "rejuvenation(s), {deferred} deferred".format(**self.policy)
             )
         return "\n".join(lines)
 
@@ -199,6 +211,30 @@ def run_scenario(
             crashers.append(crasher)
             watchdogs.append(watchdog)
 
+    control_loop: ControlLoop | None = None
+    if spec.policy is not None and spec.observe_s > 0:
+        migrate_fn = None
+        if built.cluster is not None:
+            # Dependency inversion: the control layer sits below cluster,
+            # so the migration mechanism is injected as a callable.
+            from repro.cluster.migration import MigrationSpec, live_migrate
+
+            hosts_by_name = {host.name: host for host in built.hosts}
+            migration = MigrationSpec()
+
+            def migrate_fn(source: str, target: str, vm: str):
+                yield from live_migrate(
+                    hosts_by_name[source], hosts_by_name[target], vm, migration
+                )
+
+        control_loop = ControlLoop(
+            sim,
+            built.hosts,
+            config=spec.policy.to_control_config(),
+            migrate=migrate_fn,
+        )
+        sim.spawn(control_loop.run(horizon), name="control")
+
     maintenance_report: dict[str, typing.Any] = {}
     maintenance = spec.maintenance
     if maintenance is not None:
@@ -248,6 +284,7 @@ def run_scenario(
         maintenance=maintenance_report,
         faults=fault_report,
         metrics=sim.metrics.snapshot() if sim.metrics.enabled else {},
+        policy=control_loop.summary() if control_loop is not None else {},
     )
 
 

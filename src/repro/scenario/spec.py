@@ -34,6 +34,15 @@ WORKLOAD_MODES = ("exact", "fluid")
 at aggregation ticks (see :class:`repro.workloads.httperf.FluidHttperf`)."""
 PROFILES = ("paper", "small")
 FAULT_PRESETS = ("healthy", "paper-bugs")
+POLICY_STRATEGIES = (
+    "fleet-order",
+    "first-fit-decreasing",
+    "consolidation",
+    "aging-aware",
+)
+"""Placement strategies a policy spec may name (the built-in entries of
+:data:`repro.control.planner.STRATEGY_REGISTRY`)."""
+POLICY_REJUVENATE = ("warm", "cold")
 
 
 def _type_name(value: typing.Any) -> str:
@@ -407,6 +416,108 @@ class MaintenanceSpec:
 
 
 @dataclasses.dataclass(frozen=True)
+class PolicySpec:
+    """An autonomic control loop attached to the scenario (TOML table).
+
+    Mirrors :class:`repro.control.ControlConfig` field for field:
+    detector thresholds (``overload``/``underload`` in mean runnable
+    jobs per core over the trailing ``window_s``;
+    ``aging_threshold``/``aging_rearm`` in VMM heap utilization), the
+    placement ``strategy``, SLA budgets, and the control ``interval_s``.
+    Attaching a policy implies metrics collection for the run — the
+    detectors are the metric registry's first in-simulation consumer.
+    """
+
+    strategy: str = "fleet-order"
+    interval_s: float = 60.0
+    window_s: float = 60.0
+    overload: float = 4.0
+    underload: float = 0.05
+    aging_threshold: float = 0.8
+    aging_rearm: float = 0.4
+    cooldown_s: float = 300.0
+    migration_budget: int = 4
+    min_hosts_up: int = 1
+    rejuvenate: str = "warm"
+
+    def __post_init__(self) -> None:
+        _require(
+            self.strategy in POLICY_STRATEGIES,
+            "policy.strategy",
+            f"must be one of {', '.join(POLICY_STRATEGIES)}, "
+            f"got {self.strategy!r}",
+        )
+        _require(
+            self.interval_s > 0,
+            "policy.interval_s",
+            f"must be positive, got {self.interval_s}",
+        )
+        _require(
+            self.window_s > 0,
+            "policy.window_s",
+            f"must be positive, got {self.window_s}",
+        )
+        _require(
+            0 <= self.underload < self.overload,
+            "policy.underload",
+            f"need 0 <= underload < overload, got underload="
+            f"{self.underload} overload={self.overload}",
+        )
+        _require(
+            0 < self.aging_threshold <= 1,
+            "policy.aging_threshold",
+            f"must be in (0, 1], got {self.aging_threshold}",
+        )
+        _require(
+            0 <= self.aging_rearm <= self.aging_threshold,
+            "policy.aging_rearm",
+            f"must be in [0, aging_threshold], got {self.aging_rearm}",
+        )
+        _require(
+            self.cooldown_s >= 0,
+            "policy.cooldown_s",
+            f"must be >= 0, got {self.cooldown_s}",
+        )
+        _require(
+            self.migration_budget >= 0,
+            "policy.migration_budget",
+            f"must be >= 0, got {self.migration_budget}",
+        )
+        _require(
+            self.min_hosts_up >= 0,
+            "policy.min_hosts_up",
+            f"must be >= 0, got {self.min_hosts_up}",
+        )
+        _require(
+            self.rejuvenate in POLICY_REJUVENATE,
+            "policy.rejuvenate",
+            f"must be one of {', '.join(POLICY_REJUVENATE)}, "
+            f"got {self.rejuvenate!r}",
+        )
+
+    def to_control_config(self):
+        """The :class:`repro.control.ControlConfig` this spec asks for."""
+        from repro.control.loop import ControlConfig
+
+        return ControlConfig(
+            **{
+                field.name: getattr(self, field.name)
+                for field in dataclasses.fields(self)
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict, where: str = "policy") -> "PolicySpec":
+        _check_keys(data, _FIELDS[cls], where)
+        for key in _FIELDS[cls] - {"strategy", "rejuvenate"}:
+            _number(data, key, where)
+        return _construct(cls, dict(data), where)
+
+    def to_dict(self) -> dict:
+        return _as_dict(self)
+
+
+@dataclasses.dataclass(frozen=True)
 class ScenarioSpec:
     """A complete declarative scenario."""
 
@@ -420,6 +531,7 @@ class ScenarioSpec:
     workloads: tuple[WorkloadSpec, ...] = ()
     faults: FaultSpec | None = None
     maintenance: MaintenanceSpec | None = None
+    policy: PolicySpec | None = None
     warmup_s: float = 0.0
     observe_s: float = 0.0
 
@@ -500,6 +612,10 @@ class ScenarioSpec:
             kwargs["maintenance"] = MaintenanceSpec.from_dict(
                 kwargs["maintenance"], f"{where}.maintenance"
             )
+        if kwargs.get("policy") is not None:
+            kwargs["policy"] = PolicySpec.from_dict(
+                kwargs["policy"], f"{where}.policy"
+            )
         return _construct(cls, kwargs, where)
 
     def to_dict(self) -> dict:
@@ -516,6 +632,8 @@ class ScenarioSpec:
             out["faults"] = self.faults.to_dict()
         if self.maintenance is not None:
             out["maintenance"] = self.maintenance.to_dict()
+        if self.policy is not None:
+            out["policy"] = self.policy.to_dict()
         return out
 
 
@@ -538,6 +656,7 @@ _FIELDS: dict[type, frozenset[str]] = {
         WorkloadSpec,
         FaultSpec,
         MaintenanceSpec,
+        PolicySpec,
         ScenarioSpec,
     )
 }

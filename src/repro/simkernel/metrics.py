@@ -94,6 +94,12 @@ METRIC_SCHEMA: dict[str, MetricSpec] = {
     "vmm.xenstore_leaked_bytes": MetricSpec(
         "gauge", "Xenstore heap lost to the aging leak", "bytes"
     ),
+    "vmm.heap_used_bytes": MetricSpec(
+        "gauge", "VMM heap in use (live + leaked)", "bytes"
+    ),
+    "vmm.heap_leaked_bytes": MetricSpec(
+        "gauge", "VMM heap lost to the aging leak", "bytes"
+    ),
     # guest layer
     "guest.page_cache_hit_bytes": MetricSpec(
         "counter", "File-read bytes served from the page cache", "bytes"

@@ -92,8 +92,18 @@ class SharedPool:
         self._nonunit_jobs = 0
         """How many active jobs have weight != 1.0 — when zero (the common
         case) the total weight is exactly ``len(self._jobs)``."""
+        self.on_jobs_change: typing.Callable[[int], None] | None = None
+        """Observer called with ``active_jobs`` after every membership
+        change (submit, completion, cancel, drain).  Synchronous and
+        schedule-neutral: it must not submit work or touch the event
+        queue.  The CPU pool uses it to keep its runnable-jobs gauge
+        honest on job *completion*, not just submission."""
 
     # -- public API ----------------------------------------------------------
+
+    def _notify(self) -> None:
+        if self.on_jobs_change is not None:
+            self.on_jobs_change(len(self._jobs))
 
     @property
     def active_jobs(self) -> int:
@@ -138,6 +148,7 @@ class SharedPool:
             if job.weight != 1.0:
                 self._nonunit_jobs += 1
             self._total_weight = job.weight
+            self._notify()
             share = self.capacity
             if self.per_job_cap is not None and share > self.per_job_cap:
                 share = self.per_job_cap
@@ -169,6 +180,7 @@ class SharedPool:
             job = _Job(next(self._ids), float(work), event, 1.0, cap)
             jobs[job.job_id] = job
             self._total_weight = float(len(jobs))
+            self._notify()
             share = per_job_cap
             if cap is not None and share > cap:
                 share = cap
@@ -184,6 +196,7 @@ class SharedPool:
         if job.weight != 1.0:
             self._nonunit_jobs += 1
         self._recount_weight()
+        self._notify()
         self._reschedule()
         return event
 
@@ -212,6 +225,7 @@ class SharedPool:
                 if job.weight != 1.0:
                     self._nonunit_jobs -= 1
                 self._recount_weight()
+                self._notify()
                 error = SimulationError(f"job cancelled on {self.name}")
                 job.event.defuse()
                 job.event.fail(error)
@@ -224,6 +238,7 @@ class SharedPool:
         jobs, self._jobs = list(self._jobs.values()), {}
         self._total_weight = 0.0
         self._nonunit_jobs = 0
+        self._notify()
         for job in jobs:
             job.event.defuse()
             job.event.fail(SimulationError(f"{self.name} drained"))
@@ -332,6 +347,7 @@ class SharedPool:
                     if job.weight != 1.0:
                         self._nonunit_jobs -= 1
                 self._recount_weight()
+                self._notify()
                 for job in finished:
                     job.event.succeed()
                 if jobs:
@@ -379,6 +395,7 @@ class SharedPool:
                 if job.weight != 1.0:
                     self._nonunit_jobs -= 1
                 self._recount_weight()
+                self._notify()
                 job.event.succeed()
                 return
             self._reschedule()

@@ -63,6 +63,10 @@ SPAN_NAMES: frozenset[str] = frozenset(
         "migration.vm",
         # fleet tier: one host's epoch-scheduled reboot (detail = strategy)
         "fleet.host",
+        # autonomic control plane: one loop cycle (detail = strategy name)
+        "control.cycle",
+        # one applied action inside a cycle (detail = action kind)
+        "control.action",
     }
 )
 """The registered span taxonomy — the only names :meth:`SpanTracker.span`

@@ -121,6 +121,10 @@ TRACE_SCHEMA: dict[str, TraceKindSpec] = {
     "probe.down": _spec("prober"),
     "watchdog.detected": _spec("host"),
     "aging.threshold.trigger": _spec("utilization"),
+    "control.decision": _spec(
+        "cycle", "action", "target", "outcome",
+        optional=["vm", "source", "reason"],
+    ),
 }
 """Declared payload columns per trace kind.
 

@@ -75,7 +75,11 @@ class Hypervisor:
         self.generation = generation
         self.state = VmmState.INITIALIZING
         self.allocator = FrameAllocator(machine.memory)
-        self.heap = VmmHeap(profile.vmm.heap_bytes)
+        self.heap = VmmHeap(
+            profile.vmm.heap_bytes,
+            metrics=self.sim.metrics,
+            owner=machine.name,
+        )
         self.domains: dict[str, Domain] = {}
         self.event_channels = EventChannelTable(metrics=self.sim.metrics)
         self.grant_table = GrantTable()

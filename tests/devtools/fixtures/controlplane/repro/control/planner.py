@@ -1,0 +1,12 @@
+"""Planted SL011 violation: the policy layer reaching up (fixture).
+
+Never imported.  The control plane's planner must see the fleet only as
+inert views; importing a workload module is exactly the upward edge the
+layer map forbids (policy -> host).
+"""
+
+import repro.workloads.httperf  # SL011: upward import (policy -> host)
+
+
+def plan():
+    return repro.workloads.httperf

@@ -2,7 +2,7 @@
 
 Never imported.  Plants, at stable locations:
 
-* SL011 — a control-layer module importing from the application layer;
+* SL011 — a cluster-layer module importing from the application layer;
 * the SL013 *sink* (``time.time`` inside ``_jitter``, reached through
   ``rebalance``, which a scenario module spawns) — its local SL001 is
   deliberately suppressed to show suppressing the local rule does not
@@ -15,7 +15,7 @@ Never imported.  Plants, at stable locations:
 import dataclasses
 import time
 
-import repro.experiments.layout  # SL011: upward import (control -> application)
+import repro.experiments.layout  # SL011: upward import (cluster -> application)
 
 
 @dataclasses.dataclass(frozen=True)

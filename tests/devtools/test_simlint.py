@@ -17,6 +17,7 @@ _EXPERIMENT_FIXTURE = os.path.join(
     _HERE, "fixtures", "repro", "experiments", "planted_stack.py"
 )
 _WHOLEPROG = os.path.join(_HERE, "fixtures", "wholeprog")
+_CONTROLPLANE = os.path.join(_HERE, "fixtures", "controlplane")
 _CYCLE = os.path.join(_HERE, "fixtures", "importcycle")
 _SPAWNROOT = os.path.join(_HERE, "fixtures", "spawnroot")
 _SRC = os.path.join(_HERE, os.pardir, os.pardir, "src")
@@ -395,8 +396,17 @@ class TestWholeProgramRules:
     def test_layering_violation_names_both_layers(self, report):
         (finding,) = [f for f in report.findings if f.rule == "SL011"]
         assert finding.path.endswith("planner.py")
-        assert "'control'" in finding.message
+        assert "'cluster'" in finding.message
         assert "'application'" in finding.message
+
+    def test_policy_layer_is_policed(self):
+        report = _strict([_CONTROLPLANE])
+        assert not report.errors
+        (finding,) = report.findings
+        assert finding.rule == "SL011"
+        assert finding.path.endswith("planner.py")
+        assert "'policy'" in finding.message
+        assert "'host'" in finding.message
 
     def test_frozen_mutation_names_the_spec_class(self, report):
         (finding,) = [f for f in report.findings if f.rule == "SL012"]

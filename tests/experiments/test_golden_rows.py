@@ -89,7 +89,8 @@ def test_batched_backend_observed_rows_match_golden(
 # slow ones (FIG7/FIG9) already pin both paths via their serial golden
 # match plus test_parallel.py's serial==parallel==cached contract.
 @pytest.mark.parametrize(
-    "experiment_id", ["FIG4", "FIG5", "FIG6", "FIG8", "EXT-GRANULARITY"]
+    "experiment_id",
+    ["FIG4", "FIG5", "FIG6", "FIG8", "EXT-GRANULARITY", "EXT-AUTONOMIC"],
 )
 def test_parallel_and_cached_rows_match_golden(experiment_id, cache_dir):
     stats = SweepStats()
