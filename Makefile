@@ -70,13 +70,19 @@ scenarios:
 	$(PYTHON) -m repro.scenario build $(filter-out examples/fleet_%,$(wildcard examples/*.toml)) $$($(PYTHON) -m repro.scenario list | awk '{print $$1}')
 	$(PYTHON) -m repro.fleet validate examples/fleet_*.toml
 
-# End-to-end observability self-check: drive an instrumented rejuvenation
-# run, then cross-verify the span tree against the measured downtime
-# report, the Perfetto export against strict JSON, and the Prometheus
-# text format against its parser.  Leaves both artifacts under build/obs/
-# (CI uploads them; open the trace at ui.perfetto.dev).
+# End-to-end observability self-check, two layers.  Single-run: drive an
+# instrumented rejuvenation run, then cross-verify the span tree against
+# the measured downtime report, the Perfetto export against strict JSON,
+# and the Prometheus text format against its parser.  Fleet-mode: run a
+# two-shard fleet twice (serial vs sharded), assert the merged telemetry
+# bundles are bit-identical, evaluate the attached SLO, and reconstruct
+# every control-plane decision's causal chain (trigger -> cycle ->
+# action -> mechanism -> outage) from the merged bundle alone.  Leaves
+# all artifacts under build/obs/ (CI uploads them; open the traces at
+# ui.perfetto.dev).
 obs-check:
 	$(PYTHON) -m repro.analysis --trace-out build/obs/trace.json --prom-out build/obs/metrics.prom
+	$(PYTHON) -m repro.obs check --out build/obs
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
@@ -84,17 +90,18 @@ bench:
 # Kernel micro-benchmarks + fleet matrix + sub-second experiments,
 # guarded against the committed baseline.  Seconds, not a full sweep.
 # Kernel throughputs are recorded per scheduler backend and fleet wall
-# clocks per hosts x mode cell (BENCH_PERF.json schema 4); most gates
+# clocks per hosts x mode cell (BENCH_PERF.json schema 5); most gates
 # compare against the committed
 # baseline and are therefore hardware-relative: on a machine slower
 # than the baseline's, widen the gate for one run with
 # `REPRO_PERF_TOLERANCE=1.6 make perf-check` (or --tolerance); if the
 # drift is real and permanent, rebaseline instead — run `make perf-write`
 # on quiet hardware and commit the rewritten BENCH_PERF.json.  The
-# batched-vs-reference events/sec speedup gate is the exception: it is
-# same-run relative (both backends measured seconds apart on the same
-# machine), so no tolerance applies and rebaselining cannot paper over
-# a batched-backend slowdown.
+# batched-vs-reference events/sec speedup gate and the disabled-telemetry
+# overhead gate are the exceptions: both compare cells measured seconds
+# apart in the same run on the same machine, so no tolerance applies and
+# rebaselining cannot paper over a batched-backend slowdown or a
+# telemetry tax creeping into the metrics-off path.
 perf-check:
 	$(PYTHON) benchmarks/perf_report.py --check --mode quick
 

@@ -11,12 +11,14 @@ than the tolerance against the committed baseline — wall clocks slower,
 or kernel throughputs lower, by more than the allowed ratio (default
 1.30, i.e. 30 %).  Kernel throughputs are guarded per scheduler backend
 (the ``kernel.backends`` matrix) and fleet wall clocks per hosts × mode
-cell (the ``fleet.matrix``, schema 4).  Two gates are *relative within
+cell (the ``fleet.matrix``, schema 5).  Three gates are *relative within
 the fresh run* and therefore hardware-independent and tolerance-free:
 the batched backend must beat the reference on events/sec by at least
-``BATCHED_MIN_SPEEDUP``, and the fluid workload mode must beat exact
+``BATCHED_MIN_SPEEDUP``, the fluid workload mode must beat exact
 mode's wall clock by at least ``FLUID_MIN_SPEEDUP`` on the largest
-fleet size both modes run.  Override the
+fleet size both modes run, and the disabled-telemetry event-loop tax
+(``kernel.telemetry.overhead_ratio``, schema 5) must stay under
+``TELEMETRY_MAX_OVERHEAD``.  Override the
 regression ratio with ``--tolerance 1.5`` or the
 ``REPRO_PERF_TOLERANCE`` environment variable when checking on hardware
 slower than the baseline machine; rewrite the baseline itself with
@@ -64,6 +66,16 @@ FLUID_MIN_SPEEDUP = 10.0
 """The fluid workload mode must beat exact mode's wall clock by at least
 this factor on the largest fleet size both modes run (schema 4,
 ``fleet.fluid_speedup``).  Same-run relative, like the backend gate."""
+
+TELEMETRY_MAX_OVERHEAD = 1.5
+"""Ceiling on the disabled-telemetry event-loop tax (schema 5,
+``kernel.telemetry.overhead_ratio``): a ticker fleet making disabled
+metric/span calls every tick must stay within this factor of the plain
+fleet's events/sec.  Same-run relative — both loops ran seconds apart on
+the same machine — so no hardware tolerance applies.  The measured ratio
+sits near 1.3 (two no-op registry lookups per ~1 µs tick); the ceiling
+catches the real failure mode, a "disabled" path that starts allocating
+or recording."""
 
 
 def default_tolerance() -> float:
@@ -145,7 +157,7 @@ def measure(smoke: bool, jobs: int) -> dict[str, typing.Any]:
     from repro.experiments import experiment_ids
 
     report: dict[str, typing.Any] = {
-        "schema": 4,
+        "schema": 5,
         "mode": "quick" if smoke else "full",
         "kernel": measure_kernel(),
         "fleet": measure_fleet(full=not smoke, jobs=jobs),
@@ -195,7 +207,7 @@ def check(
                             higher_is_better=True,
                         )
             continue
-        if metric == "batched_speedup":
+        if metric in ("batched_speedup", "telemetry"):
             continue  # gated below against the fresh run, not the baseline
         now = fresh_kernel.get(metric)
         if now is not None:
@@ -211,6 +223,19 @@ def check(
         print(
             f"  [{mark}] kernel batched_speedup (same-run): "
             f"required >= {BATCHED_MIN_SPEEDUP}, now {speedup:g}"
+        )
+        if bad:
+            failures += 1
+
+    # Same-run relative, like the backend gate: instrumentation left in
+    # actor code must stay near-free while telemetry is disabled.
+    overhead = fresh_kernel.get("telemetry", {}).get("overhead_ratio")
+    if overhead is not None:
+        bad = overhead > TELEMETRY_MAX_OVERHEAD
+        mark = "FAIL" if bad else "ok"
+        print(
+            f"  [{mark}] kernel telemetry overhead_ratio (same-run): "
+            f"required <= {TELEMETRY_MAX_OVERHEAD}, now {overhead:g}"
         )
         if bad:
             failures += 1

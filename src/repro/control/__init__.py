@@ -27,9 +27,12 @@ from repro.control.detectors import (
     Hysteresis,
     Trigger,
     cpu_runnable_signal,
+    disk_busy_signal,
     heap_utilization_signal,
     next_tick,
+    nic_tx_signal,
     windowed_mean,
+    windowed_rate,
 )
 from repro.control.executor import PlanExecutor
 from repro.control.loop import ControlConfig, ControlLoop
@@ -70,9 +73,11 @@ __all__ = [
     "Trigger",
     "VMView",
     "cpu_runnable_signal",
+    "disk_busy_signal",
     "heap_utilization_signal",
     "migrate",
     "next_tick",
+    "nic_tx_signal",
     "register_strategy",
     "rejuvenate",
     "resolve_strategy",
@@ -80,4 +85,5 @@ __all__ = [
     "strategy_names",
     "view_of_hosts",
     "windowed_mean",
+    "windowed_rate",
 ]

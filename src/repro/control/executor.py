@@ -109,12 +109,19 @@ class PlanExecutor:
     # -- the audit trail -----------------------------------------------------------
 
     def _record(self, cycle: int, action: Action, outcome: str) -> None:
+        # The innermost open control-actor span is the control.action span
+        # while _apply_one is on the stack, and the enclosing control.cycle
+        # span for deferred actions (recorded outside any action span) —
+        # either way it is the join key that lets repro.obs reconstruct
+        # this decision's causal chain from the trace alone.
+        span_id = self.sim.spans.current("control")
         entry = {
             "time": self.sim.now,
             "cycle": cycle,
             "action": action.kind.value,
             "target": action.target or "",
             "outcome": outcome,
+            "span": span_id,
         }
         extras = {}
         if action.vm is not None:
@@ -131,5 +138,6 @@ class PlanExecutor:
             action=action.kind.value,
             target=action.target or "",
             outcome=outcome,
+            span=span_id,
             **extras,
         )

@@ -24,8 +24,10 @@ import typing
 from repro.control.detectors import (
     Detector,
     cpu_runnable_signal,
+    disk_busy_signal,
     heap_utilization_signal,
     next_tick,
+    nic_tx_signal,
 )
 from repro.control.executor import MigrateFn, PlanExecutor
 from repro.control.planner import (
@@ -58,6 +60,13 @@ class ControlConfig:
     migration_budget: int = 4
     min_hosts_up: int = 1
     rejuvenate: str = "warm"
+    net_overload_bps: float = 0.0
+    """NIC transmit rate (bytes/s over the trailing window) above which a
+    host counts as overloaded; 0 disables the network detector."""
+    disk_overload: float = 0.0
+    """Disk busy fraction (iostat %util over the trailing window, in
+    [0, 1]) above which a host counts as overloaded; 0 disables the
+    disk detector."""
 
     def __post_init__(self) -> None:
         if self.interval_s <= 0:
@@ -85,6 +94,14 @@ class ControlConfig:
         if self.cooldown_s < 0:
             raise ControlError(
                 f"cooldown must be >= 0, got {self.cooldown_s}"
+            )
+        if self.net_overload_bps < 0:
+            raise ControlError(
+                f"net_overload_bps must be >= 0, got {self.net_overload_bps}"
+            )
+        if not 0 <= self.disk_overload <= 1:
+            raise ControlError(
+                f"disk_overload must be in [0, 1], got {self.disk_overload}"
             )
 
     def constraints(self) -> Constraints:
@@ -115,10 +132,10 @@ class ControlLoop:
         self.executor = PlanExecutor(
             sim, {host.name: host for host in self._hosts}, migrate=migrate
         )
-        self._detectors: dict[str, tuple[Detector, Detector, Detector]] = {}
+        self._detectors: dict[str, list[Detector]] = {}
         for host in self._hosts:
             cpu = cpu_runnable_signal(sim, host, self.config.window_s)
-            self._detectors[host.name] = (
+            detectors = [
                 Detector(
                     "overload", host.name, cpu,
                     threshold=self.config.overload,
@@ -138,7 +155,28 @@ class ControlLoop:
                     cooldown_s=self.config.cooldown_s,
                     direction="above",
                 ),
-            )
+            ]
+            if self.config.net_overload_bps > 0:
+                detectors.append(
+                    Detector(
+                        "net", host.name,
+                        nic_tx_signal(sim, host, self.config.window_s),
+                        threshold=self.config.net_overload_bps,
+                        cooldown_s=self.config.cooldown_s,
+                        direction="above",
+                    )
+                )
+            if self.config.disk_overload > 0:
+                detectors.append(
+                    Detector(
+                        "disk", host.name,
+                        disk_busy_signal(sim, host, self.config.window_s),
+                        threshold=self.config.disk_overload,
+                        cooldown_s=self.config.cooldown_s,
+                        direction="above",
+                    )
+                )
+            self._detectors[host.name] = detectors
         self.plans: list = []
         self.cycles = 0
 
@@ -161,17 +199,18 @@ class ControlLoop:
         aging: set[str] = set()
         loads: dict[str, float] = {}
         for name, detectors in self._detectors.items():
-            over, under, age = detectors
             for detector in detectors:
                 detector.observe(now)
-            if over.value is not None:
-                loads[name] = over.value
-            if over.active:
-                overloaded.add(name)
-            if under.active:
-                underloaded.add(name)
-            if age.active:
-                aging.add(name)
+                if detector.name == "overload" and detector.value is not None:
+                    loads[name] = detector.value
+                if not detector.active:
+                    continue
+                if detector.name == "underload":
+                    underloaded.add(name)
+                elif detector.name == "aging":
+                    aging.add(name)
+                else:  # overload / net / disk: all pressure signals
+                    overloaded.add(name)
         view = view_of_hosts(
             self._hosts,
             loads=loads,
@@ -186,6 +225,28 @@ class ControlLoop:
             yield from self.executor.apply(plan, cycle=self.cycles)
         self.plans.append(plan)
         self.cycles += 1
+
+    def trigger_log(self) -> list[dict]:
+        """Every detector firing as plain data, in (time, host, name) order.
+
+        The per-firing complement of :meth:`summary`'s count table — the
+        decision-timeline reconstruction in :mod:`repro.obs` joins these
+        against the audit's action records to recover each decision's
+        originating signal sample.
+        """
+        log = [
+            {
+                "time": trigger.time,
+                "detector": trigger.detector,
+                "host": trigger.host,
+                "value": trigger.value,
+            }
+            for detectors in self._detectors.values()
+            for detector in detectors
+            for trigger in detector.triggers
+        ]
+        log.sort(key=lambda t: (t["time"], t["host"], t["detector"]))
+        return log
 
     def summary(self) -> dict:
         """Plain-data account of the loop's run, for reports."""
@@ -204,5 +265,6 @@ class ControlLoop:
             "failed": self.executor.failed,
             "deferred": sum(len(plan.deferred) for plan in self.plans),
             "triggers": triggers,
+            "trigger_log": self.trigger_log(),
             "audit": list(self.executor.audit),
         }

@@ -11,7 +11,8 @@ level   layer          packages
 1       hardware       ``hardware``
 2       platform       ``vmm``, ``guest``
 3       policy         ``control``
-4       host           ``core``, ``workloads``, ``aging``, ``analysis``
+4       host           ``core``, ``workloads``, ``aging``, ``analysis``,
+                       ``obs``
 5       cluster        ``cluster``
 6       orchestration  ``scenario``, ``fleet``
 7       application    ``experiments``
@@ -91,7 +92,7 @@ DEFAULT_LAYER_MAP = LayerMap.from_pairs(
         ("hardware", ["hardware"]),
         ("platform", ["vmm", "guest"]),
         ("policy", ["control"]),
-        ("host", ["core", "workloads", "aging", "analysis"]),
+        ("host", ["core", "workloads", "aging", "analysis", "obs"]),
         ("cluster", ["cluster"]),
         ("orchestration", ["scenario", "fleet"]),
         ("application", ["experiments"]),

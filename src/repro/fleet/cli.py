@@ -11,6 +11,12 @@ writes one Perfetto trace per shard (``PATH`` gains a ``.shardN``
 suffix), so control-plane decisions (``control.cycle`` /
 ``control.action`` spans and the ``control.decision`` records) are
 inspectable per shard.
+
+``fleet run --obs-out PATH`` writes the *merged* telemetry bundle (all
+shards, with host→shard provenance) as one JSON document — the input
+``python -m repro.obs explain`` reconstructs decision timelines from.
+It forces telemetry collection on even when the spec states no ``[slo]``
+table and no ``telemetry = true``.
 """
 
 from __future__ import annotations
@@ -54,6 +60,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             else PolicySpec(strategy=args.policy)
         )
         spec = dataclasses.replace(spec, policy=policy)
+    if args.obs_out and not spec.telemetry_enabled:
+        spec = dataclasses.replace(spec, telemetry=True)
     if args.trace_out:
         import os
 
@@ -75,6 +83,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"wrote {write_perfetto(out, sim.trace, sim.metrics)}")
     else:
         report = run_fleet(spec, jobs=args.jobs, use_cache=args.cache)
+    if args.obs_out:
+        from repro.obs.bundle import TelemetryBundle
+
+        bundle = TelemetryBundle.from_dict(report.telemetry)
+        print(f"wrote {bundle.write(args.obs_out)}")
     print(report.render())
     return 0
 
@@ -107,6 +120,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write one Perfetto trace per shard (PATH gains a .shardN "
         "suffix); implies metrics collection and --jobs 1",
+    )
+    run.add_argument(
+        "--obs-out",
+        metavar="PATH",
+        default=None,
+        help="write the merged fleet telemetry bundle as one JSON "
+        "document (implies telemetry collection); explain it with "
+        "`python -m repro.obs explain PATH`",
     )
     run.add_argument(
         "--policy",

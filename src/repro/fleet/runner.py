@@ -18,6 +18,12 @@ import typing
 
 from repro.jobs import Cell, SweepStats, run_cells
 from repro.fleet.spec import FleetSpec
+from repro.obs.bundle import TelemetryBundle
+from repro.obs.slo import (
+    evaluate_slo,
+    merge_latency_histogram,
+    outage_intervals,
+)
 
 _FLEET = "FLEET"
 """Cell experiment-id namespace for fleet shards."""
@@ -43,6 +49,12 @@ class FleetReport:
     policy: dict = dataclasses.field(default_factory=dict)
     """Aggregated control-loop summary across shards (counts summed,
     audits concatenated in shard order); empty without a policy."""
+    telemetry: dict = dataclasses.field(default_factory=dict)
+    """The merged :class:`~repro.obs.bundle.TelemetryBundle` as plain
+    data; empty unless the spec enabled telemetry collection."""
+    slo: dict = dataclasses.field(default_factory=dict)
+    """SLO report (see :func:`repro.obs.slo.evaluate_slo`) evaluated from
+    the merged telemetry; empty without an ``[slo]`` table."""
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -65,6 +77,17 @@ class FleetReport:
                 "  policy {strategy}: {cycles} cycle(s), "
                 "{migrations} migration(s), {rejuvenations} "
                 "rejuvenation(s), {deferred} deferred".format(**self.policy)
+            )
+        if self.slo:
+            objectives = ", ".join(
+                "{kind} {verdict}".format(
+                    kind=o["kind"], verdict="ok" if o["passed"] else "VIOLATED"
+                )
+                for o in self.slo["objectives"]
+            )
+            lines.append(
+                f"  slo {'PASS' if self.slo['passed'] else 'FAIL'}: "
+                f"{objectives}"
             )
         if self.wall_s:
             lines.append(f"  wall clock: {self.wall_s:.2f}s")
@@ -121,6 +144,7 @@ def merge_shards(spec: FleetSpec, payloads: typing.Sequence[dict]) -> FleetRepor
                     "skipped": 0,
                     "failed": 0,
                     "deferred": 0,
+                    "trigger_log": [],
                     "audit": [],
                 }
             # Every shard ticks the same absolute grid, so cycle counts
@@ -130,7 +154,36 @@ def merge_shards(spec: FleetSpec, payloads: typing.Sequence[dict]) -> FleetRepor
                 "migrations", "rejuvenations", "skipped", "failed", "deferred"
             ):
                 policy[key] += shard_policy[key]
+            policy["trigger_log"].extend(shard_policy.get("trigger_log", ()))
             policy["audit"].extend(shard_policy["audit"])
+    telemetry: dict = {}
+    slo: dict = {}
+    blobs = [payload.get("telemetry") or {} for payload in payloads]
+    if payloads and all(blobs):
+        bundle = TelemetryBundle.merge(spec.name, blobs)
+        telemetry = bundle.to_dict()
+        if spec.slo is not None:
+            # Price the SLO from the merged telemetry alone — the same
+            # inputs `repro.obs` works from, so report and bundle can
+            # never disagree.
+            slo = evaluate_slo(
+                spec.slo,
+                start=spec.warmup_s,
+                end=spec.horizon_s,
+                rows=bundle.sli_rows(),
+                outages=outage_intervals(
+                    bundle.all_records(), spec.warmup_s, spec.horizon_s
+                ),
+                latency=merge_latency_histogram(
+                    [
+                        entry
+                        for shard in bundle.shards
+                        for entry in shard.metrics.get(
+                            "httperf.request_latency", ()
+                        )
+                    ]
+                ),
+            )
     return FleetReport(
         name=spec.name,
         hosts=hosts,
@@ -145,6 +198,8 @@ def merge_shards(spec: FleetSpec, payloads: typing.Sequence[dict]) -> FleetRepor
         bringup_s=bringup,
         rows=rows,
         policy=policy,
+        telemetry=telemetry,
+        slo=slo,
     )
 
 

@@ -20,6 +20,7 @@ from bisect import bisect_left, bisect_right
 from repro.control.loop import ControlLoop
 from repro.core.strategies import RebootStrategy
 from repro.errors import FleetError
+from repro.obs.bundle import capture_shard
 from repro.scenario.builder import AttachedWorkload, BuiltScenario, ScenarioBuilder
 from repro.scenario.spec import ScenarioSpec
 from repro.workloads.httperf import FluidHttperf, Httperf
@@ -93,8 +94,15 @@ def run_fleet_shard(shard: dict) -> dict:
     epoch_s = float(shard["epoch_s"])
     warmup = float(shard["warmup_s"])
     horizon = warmup + float(shard["observe_s"])
+    telemetry = bool(shard.get("telemetry"))
 
-    built = ScenarioBuilder(spec, backend=shard.get("backend", "batched")).build()
+    built = ScenarioBuilder(
+        spec,
+        backend=shard.get("backend", "batched"),
+        # Telemetry collection needs the metric series even without a
+        # policy; None keeps the spec-driven default.
+        metrics=True if telemetry else None,
+    ).build()
     sim = built.sim
     bringup_s = sim.now
     if bringup_s >= warmup:
@@ -145,14 +153,41 @@ def run_fleet_shard(shard: dict) -> dict:
         }
         for attached in built.workloads
     ]
+    policy_summary = control_loop.summary() if control_loop is not None else {}
+    shard_index = int(shard.get("shard", 0))
+    blob: dict = {}
+    if telemetry:
+        # Publish each measured row's SLIs as gauges so the merged bundle
+        # carries exactly the values the fleet report reports — the
+        # zero-deviation agreement the obs-check gate asserts.
+        for row in rows:
+            labels = {
+                "host": row["host"], "vm": row["vm"], "kind": row["kind"],
+            }
+            if "downtime_s" in row:
+                sim.metrics.gauge("fleet.downtime_seconds", **labels).set(
+                    row["downtime_s"]
+                )
+            if "availability" in row:
+                sim.metrics.gauge("fleet.availability", **labels).set(
+                    row["availability"]
+                )
+        blob = capture_shard(
+            sim,
+            shard_index,
+            [host.name for host in built.hosts],
+            audit=policy_summary.get("audit", ()),
+            triggers=policy_summary.get("trigger_log", ()),
+        ).to_dict()
     return {
         "fleet": shard.get("fleet", spec.name),
-        "shard": shard.get("shard", 0),
+        "shard": shard_index,
         "hosts": len(built.hosts),
         "vms": sum(len(host.vm_specs) for host in built.hosts),
         "bringup_s": bringup_s,
         "reboot_s": dict(sorted(durations.items())),
         "overruns": sorted(overruns),
         "rows": rows,
-        "policy": control_loop.summary() if control_loop is not None else {},
+        "policy": policy_summary,
+        "telemetry": blob,
     }

@@ -27,6 +27,7 @@ import tomllib
 import typing
 
 from repro.errors import ScenarioError
+from repro.obs.slo import SLOSpec
 from repro.scenario.spec import (
     STRATEGIES,
     FaultSpec,
@@ -65,9 +66,21 @@ class FleetSpec:
     epoch_s: float = 60.0
     warmup_s: float = 60.0
     observe_s: float = 600.0
+    telemetry: bool = False
+    """Collect per-shard telemetry blobs (spans, metric series, control
+    audit) and merge them into the report's
+    :class:`~repro.obs.bundle.TelemetryBundle`; implied by ``slo``."""
+    slo: SLOSpec | None = None
+    """Service-level objectives (the ``[slo]`` TOML table), evaluated
+    over the observation window from the merged telemetry."""
 
     def __post_init__(self) -> None:
         _require(bool(self.name), "name", "must be a non-empty string")
+        _require(
+            isinstance(self.telemetry, bool),
+            "telemetry",
+            f"must be a boolean, got {type(self.telemetry).__name__}",
+        )
         _require(len(self.hosts) >= 1, "hosts", "need at least one host entry")
         _require(self.shards >= 1, "shards", f"must be >= 1, got {self.shards}")
         _require(
@@ -116,6 +129,11 @@ class FleetSpec:
     def horizon_s(self) -> float:
         """Absolute end of the observation window."""
         return self.warmup_s + self.observe_s
+
+    @property
+    def telemetry_enabled(self) -> bool:
+        """Whether shards collect telemetry blobs (``slo`` implies it)."""
+        return self.telemetry or self.slo is not None
 
     @property
     def sessions(self) -> int:
@@ -202,6 +220,7 @@ class FleetSpec:
                     "warmup_s": self.warmup_s,
                     "observe_s": self.observe_s,
                     "backend": "batched",
+                    "telemetry": self.telemetry_enabled,
                 }
             )
         return plans
@@ -237,6 +256,8 @@ class FleetSpec:
             kwargs["policy"] = PolicySpec.from_dict(
                 kwargs["policy"], f"{where}.policy"
             )
+        if kwargs.get("slo") is not None:
+            kwargs["slo"] = SLOSpec.from_dict(kwargs["slo"], f"{where}.slo")
         return _construct(cls, kwargs, where)
 
     def to_dict(self) -> dict:
@@ -247,6 +268,8 @@ class FleetSpec:
             out["faults"] = self.faults.to_dict()
         if self.policy is not None:
             out["policy"] = self.policy.to_dict()
+        if self.slo is not None:
+            out["slo"] = self.slo.to_dict()
         return out
 
 

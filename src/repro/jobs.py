@@ -36,7 +36,7 @@ import repro
 from repro.config import paper_testbed
 from repro.errors import ReproError
 
-_CACHE_VERSION = 3
+_CACHE_VERSION = 4
 """Bump to invalidate every cached payload at once.
 
 2: workload mode/sessions/tick entered the scenario spec schema and the
@@ -46,6 +46,11 @@ version 1 predate both and must never alias the new cells.
 3: scenario reports and fleet shard payloads gained the control-plane
 ``policy`` block (and specs the ``policy`` table); version-2 payloads
 lack the key and must not replay into policy-aware consumers.
+
+4: fleet shard payloads gained the ``telemetry`` blob (and specs the
+``slo``/``telemetry`` keys, audit entries their ``span`` join key);
+version-3 payloads lack them and must not replay into the telemetry
+merge.
 """
 
 

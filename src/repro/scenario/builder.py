@@ -128,6 +128,11 @@ class ScenarioBuilder:
     :func:`repro.simkernel.backends.resolve_backend`); ``None`` defers to
     ``REPRO_KERNEL_BACKEND``, so whole experiment sweeps switch backends
     via the environment without touching specs.
+    ``metrics`` forces the built simulator's metrics registry on (or off)
+    regardless of what the spec implies — fleet shards use it when
+    telemetry collection is requested without a policy; ``None`` keeps
+    the spec-driven default (on when a ``[policy]`` or ``[slo]`` table
+    is attached, else the ``REPRO_METRICS`` environment default).
     """
 
     def __init__(
@@ -135,12 +140,24 @@ class ScenarioBuilder:
         spec: ScenarioSpec,
         profile: TimingProfile | None = None,
         backend: typing.Any = None,
+        metrics: bool | None = None,
     ) -> None:
         self.spec = spec
         self.profile = profile if profile is not None else resolve_profile(
             spec.profile
         )
         self.backend = backend
+        self.metrics = metrics
+
+    def _metrics_mode(self) -> bool | None:
+        """The registry mode for the built simulator (see class docs)."""
+        if self.metrics is not None:
+            return self.metrics
+        if self.spec.policy is not None or self.spec.slo is not None:
+            # A control policy needs the metric series its detectors
+            # read; an SLO needs the latency histograms it prices.
+            return True
+        return None
 
     # -- fleet expansion ---------------------------------------------------------
 
@@ -218,8 +235,7 @@ class ScenarioBuilder:
             faults=faults,
             host_name=host_name,
             backend=self.backend,
-            # A control policy needs the metric series its detectors read.
-            metrics=True if self.spec.policy is not None else None,
+            metrics=self._metrics_mode(),
         )
         return BuiltScenario(
             spec=self.spec,
@@ -243,8 +259,7 @@ class ScenarioBuilder:
                 cursor += 1
         sim = Simulator(
             backend=self.backend,
-            # A control policy needs the metric series its detectors read.
-            metrics=True if self.spec.policy is not None else None,
+            metrics=self._metrics_mode(),
         )
         cluster = Cluster(
             sim,

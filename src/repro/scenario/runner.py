@@ -22,6 +22,7 @@ from repro.aging.policy import TimeBasedRejuvenator
 from repro.aging.watchdog import CrashWatchdog, HeapExhaustionCrasher
 from repro.control.loop import ControlLoop
 from repro.errors import GuestError, VMMError
+from repro.obs.slo import evaluate_slo, merge_latency_histogram, outage_intervals
 from repro.scenario.builder import AttachedWorkload, BuiltScenario, build_scenario
 from repro.scenario.spec import ScenarioSpec
 from repro.units import KiB
@@ -61,6 +62,10 @@ class ScenarioReport:
     """Control-loop summary (see :meth:`ControlLoop.summary`) including
     the per-decision audit log; empty when no policy was attached."""
 
+    slo: dict[str, typing.Any] = dataclasses.field(default_factory=dict)
+    """SLO report (see :func:`repro.obs.slo.evaluate_slo`) over the
+    observation window; empty when no ``[slo]`` table was attached."""
+
     def to_dict(self) -> dict:
         return {
             "name": self.name,
@@ -72,6 +77,7 @@ class ScenarioReport:
             "faults": dict(self.faults),
             "metrics": dict(self.metrics),
             "policy": dict(self.policy),
+            "slo": dict(self.slo),
         }
 
     def render(self) -> str:
@@ -106,6 +112,17 @@ class ScenarioReport:
                 "  policy {strategy}: {cycles} cycle(s), "
                 "{migrations} migration(s), {rejuvenations} "
                 "rejuvenation(s), {deferred} deferred".format(**self.policy)
+            )
+        if self.slo:
+            objectives = ", ".join(
+                "{kind} {verdict}".format(
+                    kind=o["kind"], verdict="ok" if o["passed"] else "VIOLATED"
+                )
+                for o in self.slo["objectives"]
+            )
+            lines.append(
+                f"  slo {'PASS' if self.slo['passed'] else 'FAIL'}: "
+                f"{objectives}"
             )
         return "\n".join(lines)
 
@@ -275,6 +292,27 @@ def run_scenario(
 
     built.stop_workloads()
     reports = [_measure(built, attached) for attached in built.workloads]
+    slo_report: dict[str, typing.Any] = {}
+    window_start = run_start + spec.warmup_s
+    if spec.slo is not None and sim.now > window_start:
+        snapshot = sim.metrics.snapshot() if sim.metrics.enabled else {}
+        slo_report = evaluate_slo(
+            spec.slo,
+            start=window_start,
+            end=sim.now,
+            rows=[report.metrics for report in reports],
+            outages=outage_intervals(
+                [
+                    {"time": r.time, "kind": r.kind, **r.fields}
+                    for r in sim.trace.select("service.")
+                ],
+                window_start,
+                sim.now,
+            ),
+            latency=merge_latency_histogram(
+                snapshot.get("httperf.request_latency", ())
+            ),
+        )
     return ScenarioReport(
         name=spec.name,
         hosts=len(built.hosts),
@@ -285,6 +323,7 @@ def run_scenario(
         faults=fault_report,
         metrics=sim.metrics.snapshot() if sim.metrics.enabled else {},
         policy=control_loop.summary() if control_loop is not None else {},
+        slo=slo_report,
     )
 
 

@@ -22,6 +22,7 @@ import tomllib
 import typing
 
 from repro.errors import ScenarioError
+from repro.obs.slo import SLOSpec
 from repro.units import GiB, KiB
 
 STRATEGIES = ("warm", "cold", "saved", "dom0-only")
@@ -439,6 +440,8 @@ class PolicySpec:
     migration_budget: int = 4
     min_hosts_up: int = 1
     rejuvenate: str = "warm"
+    net_overload_bps: float = 0.0
+    disk_overload: float = 0.0
 
     def __post_init__(self) -> None:
         _require(
@@ -494,6 +497,17 @@ class PolicySpec:
             f"must be one of {', '.join(POLICY_REJUVENATE)}, "
             f"got {self.rejuvenate!r}",
         )
+        _require(
+            self.net_overload_bps >= 0,
+            "policy.net_overload_bps",
+            f"must be >= 0 (0 disables), got {self.net_overload_bps}",
+        )
+        _require(
+            0 <= self.disk_overload <= 1,
+            "policy.disk_overload",
+            f"must be a busy fraction in [0, 1] (0 disables), "
+            f"got {self.disk_overload}",
+        )
 
     def to_control_config(self):
         """The :class:`repro.control.ControlConfig` this spec asks for."""
@@ -532,6 +546,10 @@ class ScenarioSpec:
     faults: FaultSpec | None = None
     maintenance: MaintenanceSpec | None = None
     policy: PolicySpec | None = None
+    slo: SLOSpec | None = None
+    """Service-level objectives evaluated over the observation window
+    (the ``[slo]`` TOML table); attaching one implies metrics collection
+    for the run, exactly like ``[policy]``."""
     warmup_s: float = 0.0
     observe_s: float = 0.0
 
@@ -616,6 +634,8 @@ class ScenarioSpec:
             kwargs["policy"] = PolicySpec.from_dict(
                 kwargs["policy"], f"{where}.policy"
             )
+        if kwargs.get("slo") is not None:
+            kwargs["slo"] = SLOSpec.from_dict(kwargs["slo"], f"{where}.slo")
         return _construct(cls, kwargs, where)
 
     def to_dict(self) -> dict:
@@ -634,6 +654,8 @@ class ScenarioSpec:
             out["maintenance"] = self.maintenance.to_dict()
         if self.policy is not None:
             out["policy"] = self.policy.to_dict()
+        if self.slo is not None:
+            out["slo"] = self.slo.to_dict()
         return out
 
 

@@ -126,6 +126,17 @@ METRIC_SCHEMA: dict[str, MetricSpec] = {
     "fluid.failed_requests": MetricSpec(
         "counter", "Fluid-model failed requests while unreachable", "requests"
     ),
+    # fleet tier: measured per-row SLIs published by run_fleet_shard so a
+    # merged telemetry bundle carries exactly the values a FleetReport
+    # reports (the zero-deviation agreement obs-check asserts)
+    "fleet.downtime_seconds": MetricSpec(
+        "gauge", "Measured workload downtime over the observation window",
+        "seconds",
+    ),
+    "fleet.availability": MetricSpec(
+        "gauge", "Measured workload availability over the observation window",
+        "ratio",
+    ),
 }
 """The registered metric names — the only ones an enabled registry will
 instantiate.  SL008 rejects unregistered literal names statically."""
@@ -322,5 +333,32 @@ class MetricsRegistry:
                 ]
             else:
                 entry["value"] = instrument.value
+            out.setdefault(instrument.name, []).append(entry)
+        return out
+
+    def series_snapshot(self) -> dict[str, list[dict[str, typing.Any]]]:
+        """Like :meth:`snapshot` but with full sample series.
+
+        Counter/gauge entries additionally carry their ``(time, value)``
+        sample series as parallel ``times``/``values`` lists; histogram
+        entries are identical to :meth:`snapshot`'s (they keep no series).
+        This is the per-shard telemetry blob format: plain data, strict
+        JSON, deterministic order — what :mod:`repro.obs` merges across
+        shards into fleet-wide Perfetto/Prometheus documents.
+        """
+        out: dict[str, list[dict[str, typing.Any]]] = {}
+        for instrument in self.instruments():
+            entry: dict[str, typing.Any] = {"labels": dict(instrument.labels)}
+            if isinstance(instrument, Histogram):
+                entry["count"] = instrument.count
+                entry["sum"] = instrument.sum
+                entry["buckets"] = [
+                    ["+Inf" if le == float("inf") else le, n]
+                    for le, n in instrument.cumulative_buckets()
+                ]
+            else:
+                entry["value"] = instrument.value
+                entry["times"] = list(instrument.series_times)
+                entry["values"] = list(instrument.series_values)
             out.setdefault(instrument.name, []).append(entry)
         return out

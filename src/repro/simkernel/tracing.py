@@ -123,7 +123,10 @@ TRACE_SCHEMA: dict[str, TraceKindSpec] = {
     "aging.threshold.trigger": _spec("utilization"),
     "control.decision": _spec(
         "cycle", "action", "target", "outcome",
-        optional=["vm", "source", "reason"],
+        # "span" is the id of the enclosing control.action (or, for
+        # deferred actions, control.cycle) span — the deterministic join
+        # key decision-timeline reconstruction pivots on.
+        optional=["vm", "source", "reason", "span"],
     ),
 }
 """Declared payload columns per trace kind.

@@ -152,6 +152,7 @@ class TestPlanExecutor:
             "action": "rejuvenate-cold",
             "target": "h0",
             "outcome": "applied",
+            "span": 1,  # the enclosing control.action span's id
             "reason": "heap aging",
         }
         assert executor.rejuvenations == 1

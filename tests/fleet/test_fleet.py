@@ -283,6 +283,21 @@ file_kib = 512.0
         out = capsys.readouterr().out
         assert "fleet toml-fleet" in out and "availability" in out
 
+    def test_run_obs_out_writes_an_explainable_bundle(self, tmp_path, capsys):
+        # --obs-out forces telemetry on (the spec states none) and the
+        # written bundle feeds `repro.obs explain` as-is.
+        from repro.obs import TelemetryBundle, decision_timelines
+
+        path = self._write(tmp_path, self._GOOD)
+        out = str(tmp_path / "fleet.bundle.json")
+        assert main(["run", path, "--jobs", "1", "--obs-out", out]) == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        bundle = TelemetryBundle.load(out)
+        assert bundle.fleet == "toml-fleet" and len(bundle.shards) == 2
+        # No control policy in the spec, so no decisions to explain —
+        # but the reconstruction itself must accept the bundle.
+        assert decision_timelines(bundle) == []
+
     def test_load_fleet_toml_roundtrip(self, tmp_path):
         spec = load_fleet_toml(self._write(tmp_path, self._GOOD))
         assert spec.host_count == 2 and spec.shards == 2

@@ -1,0 +1,143 @@
+"""Decision-timeline reconstruction from hand-built telemetry.
+
+Each test feeds :func:`decision_timelines` a blob shaped exactly like a
+captured shard and checks the causal joins: audit ``span`` id -> action/
+cycle span, trigger-log matching, mechanism-span attribution, and outage
+consequences.  Everything is plain data, so no simulator runs here.
+"""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.obs import TelemetryBundle, decision_timelines, render_timelines
+
+
+def _blob(**overrides):
+    """One shard: an applied rejuvenation at t=160 inside cycle span 10,
+    its reboot mechanism, the aging trigger, and the outage it cost."""
+    data = {
+        "shard": 0,
+        "hosts": ["host0", "host1"],
+        "spans": [
+            {"span": 10, "parent": 0, "name": "control.cycle",
+             "actor": "control", "detail": "fleet-order",
+             "start": 120.0, "end": 160.0},
+            {"span": 11, "parent": 10, "name": "control.action",
+             "actor": "control", "detail": "rejuvenate-warm",
+             "start": 120.0, "end": 160.0},
+            {"span": 12, "parent": 11, "name": "reboot", "actor": "host0",
+             "detail": "warm", "start": 120.0, "end": 160.0},
+            # A later, unrelated reboot still open at capture: must NOT
+            # be attributed to the t=120 action.
+            {"span": 13, "parent": 0, "name": "reboot", "actor": "host0",
+             "detail": "warm", "start": 200.0, "end": None},
+        ],
+        "records": [
+            {"time": 121.0, "kind": "service.down", "service": "apache0",
+             "service_kind": "apache", "domain": "vm0"},
+            {"time": 155.0, "kind": "service.up", "service": "apache0",
+             "service_kind": "apache", "domain": "vm0"},
+        ],
+        "metrics": {},
+        "audit": [
+            {"time": 160.0, "cycle": 0, "action": "rejuvenate-warm",
+             "target": "host0", "outcome": "applied", "span": 11,
+             "reason": "aging"},
+        ],
+        "triggers": [
+            {"time": 60.0, "detector": "aging", "host": "host0",
+             "value": 0.81},
+            {"time": 120.0, "detector": "aging", "host": "host0",
+             "value": 0.93},
+            {"time": 120.0, "detector": "overload", "host": "host0",
+             "value": 6.0},
+        ],
+    }
+    data.update(overrides)
+    return data
+
+
+def _timelines(**overrides):
+    bundle = TelemetryBundle.merge("fleet", [_blob(**overrides)])
+    return decision_timelines(bundle)
+
+
+class TestReconstruction:
+    def test_applied_rejuvenation_chains_end_to_end(self):
+        (timeline,) = _timelines()
+        assert timeline.shard == 0
+        assert timeline.decision["outcome"] == "applied"
+        # Latest matching trigger at or before the decision — and only
+        # from the detectors that can motivate a rejuvenation.
+        assert timeline.trigger["time"] == 120.0
+        assert timeline.trigger["detector"] == "aging"
+        assert timeline.action["span"] == 11
+        assert timeline.cycle["span"] == 10
+        (mechanism,) = timeline.mechanisms
+        assert mechanism["span"] == 12  # the open t=200 reboot excluded
+        (outage,) = timeline.consequences
+        assert outage["start"] == 121.0 and outage["end"] == 155.0
+
+    def test_deferred_decision_resolves_to_the_cycle_only(self):
+        timelines = _timelines(
+            audit=[
+                {"time": 160.0, "cycle": 0, "action": "migrate",
+                 "target": "host1", "source": "host0", "vm": "vm0",
+                 "outcome": "deferred", "span": 10, "reason": "budget"},
+            ]
+        )
+        (timeline,) = timelines
+        assert timeline.action is None
+        assert timeline.cycle["span"] == 10
+        assert timeline.mechanisms == []
+        # Deferred migrations still name their pressure trigger.
+        assert timeline.trigger["detector"] == "overload"
+
+    def test_noop_decisions_have_no_trigger(self):
+        timelines = _timelines(
+            audit=[
+                {"time": 160.0, "cycle": 0, "action": "no-op", "target": "",
+                 "outcome": "noop", "span": 11},
+            ]
+        )
+        assert timelines[0].trigger is None
+
+    def test_unknown_span_id_is_an_error(self):
+        with pytest.raises(AnalysisError, match="unknown span"):
+            _timelines(
+                audit=[
+                    {"time": 160.0, "cycle": 0, "action": "no-op",
+                     "target": "", "outcome": "noop", "span": 99},
+                ]
+            )
+
+    def test_wrong_span_kind_is_an_error(self):
+        with pytest.raises(AnalysisError, match="expected control"):
+            _timelines(
+                audit=[
+                    {"time": 160.0, "cycle": 0, "action": "no-op",
+                     "target": "", "outcome": "noop", "span": 12},
+                ]
+            )
+
+    def test_mechanisms_only_match_the_decisions_own_actors(self):
+        # host1's reboot inside the window belongs to someone else.
+        spans = _blob()["spans"] + [
+            {"span": 14, "parent": 0, "name": "reboot", "actor": "host1",
+             "detail": "warm", "start": 125.0, "end": 150.0},
+        ]
+        (timeline,) = _timelines(spans=spans)
+        assert [m["span"] for m in timeline.mechanisms] == [12]
+
+
+class TestRender:
+    def test_renders_the_full_chain(self):
+        text = render_timelines(_timelines())
+        assert "rejuvenate-warm host0 -> applied" in text
+        assert "trigger: aging on host0 at t=120.0s" in text
+        assert "action span #11" in text
+        assert "mechanism: reboot (host0, warm)" in text
+        assert "downtime: apache0@vm0 [121.0s, 155.0s] = 34.00s" in text
+
+    def test_no_decisions_renders_empty(self):
+        assert render_timelines([]) == ""

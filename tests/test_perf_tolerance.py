@@ -95,3 +95,33 @@ class TestBackendMatrixGate:
         # required minimum: the speedup is a same-run gate, not a
         # baseline-relative one.
         assert check(self._fresh(1000.0, 1600.0), self.BASELINE) == 0
+
+
+class TestTelemetryOverheadGate:
+    """Schema-5 kernel section: disabled-telemetry tax, same-run gate."""
+
+    @staticmethod
+    def _fresh(ratio):
+        return {
+            "kernel": {"telemetry": {"overhead_ratio": ratio}},
+            "experiments_s": {},
+        }
+
+    def test_within_ceiling_passes(self, capsys):
+        assert check(self._fresh(1.3), {}) == 0
+
+    def test_beyond_ceiling_fails_regardless_of_tolerance(self, capsys):
+        # The overhead ratio compares two cells from the same fresh run,
+        # so the hardware tolerance must not widen it.
+        assert check(self._fresh(1.9), {}, tolerance=10.0) == 1
+
+    def test_absent_measurement_is_skipped(self, capsys):
+        # Pre-schema-5 reports have no telemetry section.
+        assert check({"kernel": {}, "experiments_s": {}}, {}) == 0
+
+    def test_telemetry_is_not_compared_against_baseline(self, capsys):
+        # A baseline with a recorded ratio adds no extra gate: only the
+        # fresh run's own ratio is judged.
+        baseline = {"kernel": {"telemetry": {"overhead_ratio": 1.05}},
+                    "experiments_s": {}}
+        assert check(self._fresh(1.4), baseline) == 0
